@@ -1,0 +1,56 @@
+//! FFT micro-benchmarks: the inner kernels of the SQG spectral model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fft::{Complex, Direction, Fft2, FftPlan};
+use std::hint::black_box;
+
+fn bench_fft_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_1d");
+    for n in [64usize, 256, 1024] {
+        let plan = FftPlan::new(n, Direction::Forward);
+        let data: Vec<Complex> =
+            (0..n).map(|i| Complex::new((i as f64 * 0.3).sin(), 0.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.process(black_box(&mut buf));
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft_2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_2d");
+    for n in [64usize, 128] {
+        let plan = Fft2::new(n, n, Direction::Forward);
+        let data: Vec<Complex> =
+            (0..n * n).map(|i| Complex::new((i as f64 * 0.01).cos(), 0.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.process(black_box(&mut buf));
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bluestein(c: &mut Criterion) {
+    // Non-power-of-two path.
+    let n = 96;
+    let plan = FftPlan::new(n, Direction::Forward);
+    let data: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.0)).collect();
+    c.bench_function("fft_bluestein_96", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            plan.process(black_box(&mut buf));
+            buf
+        })
+    });
+}
+
+criterion_group!(benches, bench_fft_1d, bench_fft_2d, bench_bluestein);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Dense GEMM micro-benchmarks (f64 linalg and f32 ViT tensor paths).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linalg::{gemm, Matrix};
+use std::hint::black_box;
+use vit::Tensor;
+
+fn bench_f64_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_f64");
+    for n in [32usize, 128, 256] {
+        let a = Matrix::from_fn(n, n, |r, cc| ((r * n + cc) as f64 * 0.01).sin());
+        let b = Matrix::from_fn(n, n, |r, cc| ((r + cc) as f64 * 0.02).cos());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| gemm::matmul(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_f32_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_f32_vit");
+    for n in [64usize, 256] {
+        let a = Tensor::from_vec(n, n, (0..n * n).map(|i| (i as f32 * 0.01).sin()).collect());
+        let b = Tensor::from_vec(n, n, (0..n * n).map(|i| (i as f32 * 0.02).cos()).collect());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigh(c: &mut Criterion) {
+    // The LETKF's per-gridpoint m x m eigensolve (m = ensemble size).
+    for m in [20usize, 40] {
+        let base = Matrix::from_fn(m, m, |r, cc| ((r * m + cc) as f64 * 0.13).sin());
+        let sym = gemm::matmul_a_bt(&base, &base);
+        c.bench_function(&format!("jacobi_eigh_{m}"), |bch| {
+            bch.iter(|| linalg::SymEig::new(black_box(&sym)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_f64_gemm, bench_f32_gemm, bench_eigh);
+criterion_main!(benches);

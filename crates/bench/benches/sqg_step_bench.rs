@@ -1,0 +1,43 @@
+//! SQG model step cost: the forecast kernel of every DA experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqg::{SqgModel, SqgParams};
+use std::hint::black_box;
+
+fn bench_sqg_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sqg_step");
+    group.sample_size(20);
+    for n in [32usize, 64, 128] {
+        let params = SqgParams { n, ..Default::default() };
+        let mut model = SqgModel::new(params);
+        let state = model.spinup_nature(1, 0.05, 20);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = state.clone();
+                model.step_spectral(black_box(&mut s), 1);
+                s
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_12h_forecast(c: &mut Criterion) {
+    // One observation interval (48 steps at dt = 900 s) on the paper grid.
+    let params = SqgParams::default();
+    let mut model = SqgModel::new(params);
+    let state = model.spinup_nature(2, 0.05, 20).to_state_vector();
+    let mut group = c.benchmark_group("sqg_12h_forecast_64");
+    group.sample_size(10);
+    group.bench_function("member", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            model.forecast(black_box(&mut s), 48);
+            s
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sqg_step, bench_12h_forecast);
+criterion_main!(benches);

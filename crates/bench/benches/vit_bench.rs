@@ -1,0 +1,48 @@
+//! ViT surrogate forward/backward cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vit::train::{mse_loss, Sample, Trainer};
+use vit::{SqgVit, VitConfig};
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vit_forward");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("small_16", VitConfig::small(16)),
+        ("small_64", VitConfig::small(64)),
+    ] {
+        let mut model = SqgVit::new(cfg.clone(), 1);
+        let img = vec![0.1f32; cfg.in_chans * cfg.input_size * cfg.input_size];
+        group.bench_function(label, |b| b.iter(|| model.predict(black_box(&img))));
+    }
+    group.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vit_train_step");
+    group.sample_size(10);
+    let cfg = VitConfig::small(16);
+    let dim = cfg.in_chans * cfg.input_size * cfg.input_size;
+    let mut model = SqgVit::new(cfg, 2);
+    let mut trainer = Trainer::new(1e-3, 4, 3);
+    let batch: Vec<Sample> = (0..4)
+        .map(|k| Sample {
+            x: (0..dim).map(|i| ((i + k) as f32 * 0.1).sin()).collect(),
+            y: (0..dim).map(|i| ((i + k) as f32 * 0.1).cos()).collect(),
+        })
+        .collect();
+    group.bench_function("batch4_16", |b| {
+        b.iter(|| trainer.step(&mut model, black_box(&batch)))
+    });
+    group.finish();
+}
+
+fn bench_loss(c: &mut Criterion) {
+    let a: Vec<f32> = (0..8192).map(|i| (i as f32 * 0.01).sin()).collect();
+    let b2: Vec<f32> = (0..8192).map(|i| (i as f32 * 0.011).cos()).collect();
+    c.bench_function("mse_loss_8192", |b| b.iter(|| mse_loss(black_box(&a), black_box(&b2))));
+}
+
+criterion_group!(benches, bench_forward, bench_train_step, bench_loss);
+criterion_main!(benches);

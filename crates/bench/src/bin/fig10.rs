@@ -1,0 +1,76 @@
+//! Fig. 10: weak scaling of the EnSF — modeled at Frontier scale and
+//! *measured* on this machine with the rank-decomposed filter.
+//!
+//! The paper parallelizes EnSF along the ensemble; per-rank work is fixed,
+//! so the time per analysis step should stay flat as ranks grow and scale
+//! linearly in the state dimension.
+
+use ensf::parallel::{analyze_partitioned, RankPlan};
+use ensf::{EnsfConfig, IdentityObs};
+use hpc::{ensf_step_time, EnsfJob, Topology};
+use stats::gaussian::standard_normal;
+use stats::rng::seeded;
+use stats::Ensemble;
+use std::time::Instant;
+
+fn main() {
+    bench::header("Fig. 10", "EnSF weak scaling (ensemble-parallel)");
+
+    // --- Modeled at Frontier scale (the paper's axes). ---
+    println!("modeled on Frontier (20 members/rank, 50 SDE steps):");
+    print!("{:>10}", "dim\\ranks");
+    let ranks = [8usize, 32, 128, 512, 1024];
+    for &r in &ranks {
+        print!(" {:>9}", r);
+    }
+    println!();
+    for dim in [1_000_000u64, 10_000_000, 100_000_000] {
+        let job = EnsfJob { dim, members_per_rank: 20, sde_steps: 50 };
+        print!("{:>10.0e}", dim as f64);
+        for &r in &ranks {
+            let t = ensf_step_time(&Topology::frontier(r), &job, r);
+            print!(" {:>8.2}s", t);
+        }
+        println!();
+    }
+    println!("(paper: ~0.4 s/step at 1e6, ~28 s at 1e8; flat across ranks)\n");
+
+    // --- Measured on this machine (threads as ranks). ---
+    // The paper's rank layout is "straightforwardly parallel" over the
+    // ensemble; here we measure that directly: a fixed 16-member ensemble
+    // partitioned over 1..8 ranks must speed up near-linearly (each rank's
+    // block is independent), which is exactly what makes the weak scaling
+    // above flat.
+    println!("measured here (16 members, dim 4096, 20 SDE steps; fixed ensemble");
+    println!("partitioned over more ranks):");
+    let dim = 4096;
+    let members = 16;
+    let config = EnsfConfig { n_steps: 20, seed: 7, ..Default::default() };
+    let obs = IdentityObs::new(dim, 0.5);
+    let y = vec![0.2; dim];
+    let mut rng = seeded(11);
+    let mut fc = Ensemble::zeros(members, dim);
+    for m in 0..members {
+        for x in fc.member_mut(m) {
+            *x = standard_normal(&mut rng);
+        }
+    }
+    println!("{:>8} {:>14} {:>10}", "ranks", "time/step", "speedup");
+    let mut t1 = 0.0f64;
+    for ranks in [1usize, 2, 4, 8] {
+        let plan = RankPlan::new(members, ranks);
+        let _ = analyze_partitioned(&config, 0, &plan, &fc, &y, &obs); // warm-up
+        let reps = 3;
+        let t0 = Instant::now();
+        for c in 0..reps {
+            let _ = analyze_partitioned(&config, c + 1, &plan, &fc, &y, &obs);
+        }
+        let dt = t0.elapsed().as_secs_f64() / reps as f64;
+        if ranks == 1 {
+            t1 = dt;
+        }
+        println!("{:>8} {:>13.3}s {:>9.2}x", ranks, dt, t1 / dt);
+    }
+    println!("\nper-rank blocks are independent (bitwise identical to the serial");
+    println!("filter), so fixed per-rank work => flat time/step at any scale.");
+}

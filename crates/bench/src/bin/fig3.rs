@@ -1,0 +1,36 @@
+//! Fig. 3: computational budget (Eq. 18) — total training FLOPs and
+//! Frontier node-hours for the three ViT sizes on 1M images, 100 epochs.
+
+use hpc::{achieved_flops, KernelShape};
+use vit::{flops, VitConfig};
+
+fn main() {
+    bench::header("Fig. 3", "FLOPs and Frontier node-hours to train the ViT surrogates");
+
+    let images = 1_000_000u64;
+    let epochs = 100u64;
+    println!("(dataset: {images} images, {epochs} epochs; Eq. 18: T = 6·tokens·E·M)\n");
+    println!(
+        "{:>7} {:>10} {:>12} {:>14} {:>16}",
+        "input", "params", "FLOPs", "TF/GCD (ach.)", "node-hours"
+    );
+    for size in [64usize, 128, 256] {
+        let c = VitConfig::table2(size);
+        let total = flops::training_flops(&c, images, epochs);
+        let shape =
+            KernelShape { embed_dim: c.embed_dim, heads: c.heads, mlp_ratio: c.mlp_ratio };
+        // A Frontier node sustains 8 GCDs at the achieved rate.
+        let node_rate = 8.0 * achieved_flops(shape);
+        let hours = flops::node_hours(total, node_rate);
+        println!(
+            "{:>6}² {:>9.2}B {:>12.2e} {:>14.1} {:>16.0}",
+            size,
+            c.param_count() as f64 / 1e9,
+            total,
+            achieved_flops(shape) / 1e12,
+            hours
+        );
+    }
+    println!("\nshape check: FLOPs grow ~x8 per size step (tokens x4 at fixed patch,");
+    println!("params x8/x2), node-hours track FLOPs over the achieved rate.");
+}

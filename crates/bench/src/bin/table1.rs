@@ -1,0 +1,52 @@
+//! Table I: distributed training methods and their memory-partition
+//! strategies (FSDP ↔ ZeRO correspondence), plus the quantitative memory
+//! and communication footprints behind the taxonomy.
+
+use hpc::Strategy;
+
+fn main() {
+    bench::header("Table I", "distributed training memory-partition strategies");
+
+    println!("{:<28} {:<18} {:<10}", "partitioned state", "FSDP", "ZeRO");
+    println!("{:<28} {:<18} {:<10}", "optimizer", "n/a", "stage 1");
+    println!("{:<28} {:<18} {:<10}", "optimizer + gradient", "shard_grad_op", "stage 2");
+    println!("{:<28} {:<18} {:<10}", "optimizer + gradient + weight", "full_shard", "stage 3");
+    println!("{:<28} {:<18} {:<10}", "hierarchical", "hybrid_shard", "n/a");
+
+    println!("\nverified equivalences (memory model, 1.2B params, 1024 ranks):");
+    let p = 1_200_000_000u64;
+    for (fsdp, zero) in [
+        (Strategy::FsdpShardGradOp, Strategy::ZeroStage2),
+        (Strategy::FsdpFullShard, Strategy::ZeroStage3),
+    ] {
+        let a = fsdp.memory_per_gcd(p, 1024, 8);
+        let b = zero.memory_per_gcd(p, 1024, 8);
+        assert_eq!(a, b, "Table I equivalence violated");
+        println!(
+            "  {fsdp:?} == {zero:?}: {:.2} GiB/GCD",
+            a / (1u64 << 30) as f64
+        );
+    }
+
+    println!("\nper-GCD memory [GiB] vs strategy (1.2B params):");
+    println!("{:<18} {:>8} {:>8} {:>8}", "strategy", "8 ranks", "64", "1024");
+    for s in [
+        Strategy::Ddp,
+        Strategy::ZeroStage1,
+        Strategy::ZeroStage2,
+        Strategy::ZeroStage3,
+        Strategy::FsdpHybrid,
+    ] {
+        let row: Vec<String> = [8usize, 64, 1024]
+            .iter()
+            .map(|&n| format!("{:>8.2}", s.memory_per_gcd(p, n, 8) / (1u64 << 30) as f64))
+            .collect();
+        println!("{:<18} {}", format!("{s:?}"), row.join(""));
+    }
+
+    println!("\ncommunication volume per step (relative to DDP):");
+    let ddp = Strategy::Ddp.comm_volume(p) as f64;
+    for s in [Strategy::Ddp, Strategy::ZeroStage1, Strategy::FsdpShardGradOp, Strategy::FsdpFullShard] {
+        println!("  {s:?}: {:.2}x", s.comm_volume(p) as f64 / ddp);
+    }
+}

@@ -1,0 +1,27 @@
+//! Table II: the three ViT surrogate architectures, with exact parameter
+//! counts from the implementation's bookkeeping.
+
+use vit::VitConfig;
+
+fn main() {
+    bench::header("Table II", "architecture of the ViT surrogate models");
+    println!(
+        "{:>7} {:>6} {:>8} {:>7} {:>11} {:>10} {:>10}",
+        "input", "patch", "#layers", "#heads", "#embed dim", "#mlp ratio", "#params"
+    );
+    for size in [64usize, 128, 256] {
+        let c = VitConfig::table2(size);
+        let params = c.param_count();
+        let human = if params >= 1_000_000_000 {
+            format!("{:.1}B", params as f64 / 1e9)
+        } else {
+            format!("{:.0}M", params as f64 / 1e6)
+        };
+        println!(
+            "{:>6}² {:>6} {:>8} {:>7} {:>11} {:>10} {:>10}",
+            size, c.patch_size, c.depth, c.heads, c.embed_dim, c.mlp_ratio, human
+        );
+    }
+    println!("\npaper values: 157M / 1.2B / 2.5B (agreement within 5% — see");
+    println!("EXPERIMENTS.md for the head/embedding bookkeeping differences).");
+}

@@ -1,0 +1,62 @@
+//! Shared helpers for the table/figure regeneration binaries.
+
+#![warn(missing_docs)]
+
+/// Prints a section header in the common report style.
+pub fn header(id: &str, caption: &str) {
+    println!("================================================================");
+    println!("{id}: {caption}");
+    println!("================================================================");
+}
+
+/// Formats a throughput in TFLOPS.
+pub fn tflops(v: f64) -> String {
+    format!("{:.1} TF", v / 1e12)
+}
+
+/// Formats bytes as a human-readable power-of-two size.
+pub fn human_bytes(b: u64) -> String {
+    const KB: u64 = 1024;
+    const MB: u64 = 1024 * KB;
+    const GB: u64 = 1024 * MB;
+    if b >= GB {
+        format!("{:.1} GiB", b as f64 / GB as f64)
+    } else if b >= MB {
+        format!("{:.0} MiB", b as f64 / MB as f64)
+    } else if b >= KB {
+        format!("{:.0} KiB", b as f64 / KB as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Renders an ASCII sparkline bar scaled to `frac` of `width`.
+pub fn bar(frac: f64, width: usize) -> String {
+    let n = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    "#".repeat(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2 KiB");
+        assert_eq!(human_bytes(64 * 1024 * 1024), "64 MiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024 * 1024 / 2), "1.5 GiB");
+    }
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(0.5, 10), "#####");
+        assert_eq!(bar(2.0, 4), "####");
+        assert_eq!(bar(-1.0, 4), "");
+    }
+
+    #[test]
+    fn tflops_format() {
+        assert_eq!(tflops(52.3e12), "52.3 TF");
+    }
+}

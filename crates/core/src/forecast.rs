@@ -1,0 +1,98 @@
+//! Forecast-model adapters: the physics-based SQG model (perfect or
+//! imperfect) as a [`ForecastModel`].
+
+use crate::model_error::ModelError;
+use crate::traits::ForecastModel;
+use sqg::{SqgModel, SqgParams};
+
+/// The SQG model as a forecast model, optionally corrupted by the
+/// stochastic model-error process after each forecast interval
+/// (the paper's imperfect-model scenario).
+pub struct SqgForecast {
+    model: SqgModel,
+    error: Option<ModelError>,
+}
+
+impl SqgForecast {
+    /// Perfect-model forecaster.
+    pub fn perfect(params: SqgParams) -> Self {
+        SqgForecast { model: SqgModel::new(params), error: None }
+    }
+
+    /// Imperfect-model forecaster: `error` fires once per `forecast` call.
+    pub fn imperfect(params: SqgParams, error: ModelError) -> Self {
+        SqgForecast { model: SqgModel::new(params), error: Some(error) }
+    }
+
+    /// Access to the wrapped model (diagnostics, spin-up).
+    pub fn model_mut(&mut self) -> &mut SqgModel {
+        &mut self.model
+    }
+
+    /// SQG parameters.
+    pub fn params(&self) -> &SqgParams {
+        self.model.params()
+    }
+}
+
+impl ForecastModel for SqgForecast {
+    fn state_dim(&self) -> usize {
+        self.model.state_dim()
+    }
+
+    fn forecast(&mut self, state: &mut [f64], hours: f64) {
+        let steps = self.model.steps_per_hours(hours);
+        self.model.forecast(state, steps);
+        if let Some(err) = &mut self.error {
+            err.perturb(state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_error::ModelErrorConfig;
+
+    fn params() -> SqgParams {
+        SqgParams { n: 16, ..Default::default() }
+    }
+
+    #[test]
+    fn perfect_forecast_is_deterministic() {
+        let mut a = SqgForecast::perfect(params());
+        let mut b = SqgForecast::perfect(params());
+        let ic = a.model_mut().spinup_nature(3, 0.05, 5).to_state_vector();
+        let mut s1 = ic.clone();
+        let mut s2 = ic;
+        a.forecast(&mut s1, 12.0);
+        b.forecast(&mut s2, 12.0);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn imperfect_forecast_differs_from_perfect() {
+        let mut perfect = SqgForecast::perfect(params());
+        let mut imperfect = SqgForecast::imperfect(
+            params(),
+            ModelError::new(
+                // Always-on error so the test is deterministic in effect.
+                ModelErrorConfig { probabilities: vec![1.0], amplitudes: vec![0.2] },
+                1,
+            ),
+        );
+        let ic = perfect.model_mut().spinup_nature(3, 0.05, 5).to_state_vector();
+        let mut s1 = ic.clone();
+        let mut s2 = ic;
+        perfect.forecast(&mut s1, 12.0);
+        imperfect.forecast(&mut s2, 12.0);
+        let diff: f64 = s1.iter().zip(&s2).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-8, "model error must perturb the forecast");
+    }
+
+    #[test]
+    fn state_dim_matches_grid() {
+        let f = SqgForecast::perfect(params());
+        assert_eq!(f.state_dim(), 512);
+    }
+}

@@ -1,0 +1,327 @@
+//! Observing-system simulation experiment (OSSE) harness.
+//!
+//! Twin experiments exactly as in §IV-A: a *nature run* of the perfect SQG
+//! model provides the truth; synthetic observations are the truth plus
+//! Gaussian noise every `obs_interval_hours` (12 h in the paper, `h = I`,
+//! `R = σ² I`); the experiment under test forecasts with its own (possibly
+//! imperfect, possibly surrogate) model and assimilates with its scheme.
+
+use crate::model_error::ModelError;
+use crate::traits::{AnalysisScheme, ForecastModel};
+use sqg::{SqgModel, SqgParams};
+use stats::gaussian::standard_normal;
+use stats::rng::seeded;
+use stats::Ensemble;
+
+/// OSSE configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OsseConfig {
+    /// SQG parameters of the nature run (and the DA model's grid).
+    pub params: SqgParams,
+    /// Number of assimilation cycles.
+    pub cycles: usize,
+    /// Hours between observations (12 in the paper).
+    pub obs_interval_hours: f64,
+    /// Observation error standard deviation (in state units).
+    pub obs_sigma: f64,
+    /// Ensemble size `M` (20 in the paper).
+    pub ens_size: usize,
+    /// Initial-condition perturbation std for ensemble generation.
+    pub ic_sigma: f64,
+    /// Nature-run spin-up steps before cycling starts.
+    pub spinup_steps: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for OsseConfig {
+    fn default() -> Self {
+        OsseConfig {
+            params: SqgParams::default(),
+            cycles: 50,
+            obs_interval_hours: 12.0,
+            obs_sigma: 0.01,
+            ens_size: 20,
+            ic_sigma: 0.02,
+            spinup_steps: 500,
+            seed: 42,
+        }
+    }
+}
+
+/// Truth states and synthetic observations for every cycle.
+#[derive(Debug, Clone)]
+pub struct NatureRun {
+    /// Truth at each cycle (index 0 = the initial truth before cycling).
+    pub truth: Vec<Vec<f64>>,
+    /// Observation (truth + noise) at cycles `1..=cycles`.
+    pub observations: Vec<Vec<f64>>,
+    /// Climatological standard deviation of the truth states (for scaling).
+    pub climatology_sd: f64,
+}
+
+/// Generates the nature run with the *perfect* SQG model.
+pub fn nature_run(config: &OsseConfig) -> NatureRun {
+    nature_run_with_error(config, None)
+}
+
+/// Generates the nature run, optionally perturbing the *truth* with the
+/// stochastic model-error process after every observation interval — the
+/// paper's imperfect-model scenario: the real atmosphere is subject to
+/// "unexpected errors" the forecast model does not represent, so the DA
+/// system's model drifts away from reality between observations.
+pub fn nature_run_with_error(
+    config: &OsseConfig,
+    mut error: Option<ModelError>,
+) -> NatureRun {
+    let mut model = SqgModel::new(config.params.clone());
+    let steps = model.steps_per_hours(config.obs_interval_hours);
+    let mut state = model
+        .spinup_nature(config.seed, 0.05, config.spinup_steps)
+        .to_state_vector();
+
+    let mut rng = seeded(stats::rng::split_seed(config.seed, 0x0B5));
+    let mut truth = Vec::with_capacity(config.cycles + 1);
+    let mut observations = Vec::with_capacity(config.cycles);
+    truth.push(state.clone());
+    for _ in 0..config.cycles {
+        model.forecast(&mut state, steps);
+        if let Some(err) = error.as_mut() {
+            err.perturb(&mut state);
+        }
+        truth.push(state.clone());
+        let obs: Vec<f64> =
+            state.iter().map(|&v| v + config.obs_sigma * standard_normal(&mut rng)).collect();
+        observations.push(obs);
+    }
+    // Climatology: std over all truth states about their global mean.
+    let all: Vec<f64> = truth.iter().flatten().copied().collect();
+    let mean = all.iter().sum::<f64>() / all.len() as f64;
+    let sd =
+        (all.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / all.len() as f64).sqrt();
+    NatureRun { truth, observations, climatology_sd: sd }
+}
+
+/// Builds the initial ensemble: the initial truth plus independent Gaussian
+/// perturbations of std `ic_sigma` (a stand-in for the paper's random draws
+/// from a long integration, which live on the same attractor).
+pub fn initial_ensemble(config: &OsseConfig, truth0: &[f64]) -> Ensemble {
+    let mut ens = Ensemble::zeros(config.ens_size, truth0.len());
+    for m in 0..config.ens_size {
+        let mut rng = stats::rng::member_rng(config.seed ^ 0xE45, m);
+        let member = ens.member_mut(m);
+        for (x, t) in member.iter_mut().zip(truth0) {
+            *x = t + config.ic_sigma * standard_normal(&mut rng);
+        }
+    }
+    ens
+}
+
+/// Per-cycle verification series from one experiment.
+#[derive(Debug, Clone)]
+pub struct CycleSeries {
+    /// Experiment label.
+    pub label: String,
+    /// Simulated time (hours) of each analysis.
+    pub hours: Vec<f64>,
+    /// Analysis-mean RMSE against the truth.
+    pub rmse: Vec<f64>,
+    /// Analysis ensemble spread.
+    pub spread: Vec<f64>,
+    /// Final-cycle analysis mean (Fig. 5 snapshots).
+    pub final_mean: Vec<f64>,
+}
+
+impl CycleSeries {
+    /// Mean RMSE over the last half of the cycles (steady-state skill).
+    pub fn steady_rmse(&self) -> f64 {
+        let half = self.rmse.len() / 2;
+        let tail = &self.rmse[half..];
+        tail.iter().sum::<f64>() / tail.len().max(1) as f64
+    }
+}
+
+/// Runs one DA experiment against a prepared nature run.
+///
+/// After every analysis, `model.assimilate_feedback` receives the analyzed
+/// transition (previous analysis mean → current analysis mean) — the online
+/// training channel of Fig. 1; physics models ignore it.
+pub fn run_experiment(
+    label: &str,
+    config: &OsseConfig,
+    nature: &NatureRun,
+    model: &mut dyn ForecastModel,
+    scheme: &mut dyn AnalysisScheme,
+) -> CycleSeries {
+    assert_eq!(model.state_dim(), nature.truth[0].len(), "model/nature dimension mismatch");
+    let mut ensemble = initial_ensemble(config, &nature.truth[0]);
+    let mut hours = Vec::with_capacity(config.cycles);
+    let mut rmse = Vec::with_capacity(config.cycles);
+    let mut spread = Vec::with_capacity(config.cycles);
+    let mut prev_mean = ensemble.mean();
+
+    for cycle in 0..config.cycles {
+        // Forecast every member to the next observation time.
+        model.forecast_ensemble(&mut ensemble, config.obs_interval_hours);
+        // Analysis.
+        let analysis = scheme.analyze(&ensemble, &nature.observations[cycle]);
+        ensemble = analysis;
+
+        let mean = ensemble.mean();
+        hours.push((cycle + 1) as f64 * config.obs_interval_hours);
+        rmse.push(stats::metrics::rmse(&mean, &nature.truth[cycle + 1]));
+        spread.push(ensemble.spread());
+
+        let _ = cycle;
+        model.assimilate_feedback(&prev_mean, &mean);
+        prev_mean = mean;
+    }
+
+    CycleSeries {
+        label: label.to_string(),
+        hours,
+        rmse,
+        spread,
+        final_mean: ensemble.mean(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecast::SqgForecast;
+    use crate::traits::{EnsfScheme, NoAssimilation};
+
+    fn tiny_config() -> OsseConfig {
+        OsseConfig {
+            params: SqgParams { n: 16, ..Default::default() },
+            cycles: 5,
+            obs_sigma: 0.005,
+            ens_size: 8,
+            ic_sigma: 0.01,
+            spinup_steps: 40,
+            seed: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn nature_run_shapes_and_determinism() {
+        let cfg = tiny_config();
+        let a = nature_run(&cfg);
+        let b = nature_run(&cfg);
+        assert_eq!(a.truth.len(), 6);
+        assert_eq!(a.observations.len(), 5);
+        assert_eq!(a.truth[0].len(), 512);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.observations, b.observations);
+        assert!(a.climatology_sd > 0.0);
+    }
+
+    #[test]
+    fn observations_are_noisy_truth() {
+        let cfg = tiny_config();
+        let nr = nature_run(&cfg);
+        for (obs, truth) in nr.observations.iter().zip(&nr.truth[1..]) {
+            let err = stats::metrics::rmse(obs, truth);
+            assert!(
+                (err - cfg.obs_sigma).abs() < 0.3 * cfg.obs_sigma,
+                "obs noise should be ≈{}: {err}",
+                cfg.obs_sigma
+            );
+        }
+    }
+
+    #[test]
+    fn initial_ensemble_centered_on_truth() {
+        let cfg = tiny_config();
+        let nr = nature_run(&cfg);
+        let ens = initial_ensemble(&cfg, &nr.truth[0]);
+        assert_eq!(ens.members(), 8);
+        let err = stats::metrics::rmse(&ens.mean(), &nr.truth[0]);
+        assert!(err < cfg.ic_sigma, "mean of perturbations shrinks: {err}");
+        assert!((ens.spread() - cfg.ic_sigma).abs() < 0.5 * cfg.ic_sigma);
+    }
+
+    #[test]
+    fn free_run_rmse_grows() {
+        let cfg = tiny_config();
+        let nr = nature_run(&cfg);
+        let mut model = SqgForecast::perfect(cfg.params.clone());
+        let mut scheme = NoAssimilation;
+        let series = run_experiment("free", &cfg, &nr, &mut model, &mut scheme);
+        assert_eq!(series.rmse.len(), 5);
+        // Chaotic growth: the last RMSE exceeds the first.
+        assert!(series.rmse[4] > series.rmse[0], "{:?}", series.rmse);
+    }
+
+    #[test]
+    fn assimilation_beats_free_run() {
+        let cfg = OsseConfig { cycles: 8, ..tiny_config() };
+        let nr = nature_run(&cfg);
+
+        let mut free_model = SqgForecast::perfect(cfg.params.clone());
+        let mut free = NoAssimilation;
+        let free_series = run_experiment("free", &cfg, &nr, &mut free_model, &mut free);
+
+        let mut da_model = SqgForecast::perfect(cfg.params.clone());
+        let mut scheme = EnsfScheme::new(
+            ensf::EnsfConfig { n_steps: 25, seed: 5, ..Default::default() },
+            cfg.params.state_dim(),
+            cfg.obs_sigma,
+        );
+        let da_series = run_experiment("ensf", &cfg, &nr, &mut da_model, &mut scheme);
+
+        assert!(
+            da_series.steady_rmse() < free_series.steady_rmse(),
+            "DA must beat the free run: {} vs {}",
+            da_series.steady_rmse(),
+            free_series.steady_rmse()
+        );
+    }
+
+    #[test]
+    fn noisy_nature_differs_from_clean() {
+        use crate::model_error::{ModelError, ModelErrorConfig};
+        let cfg = tiny_config();
+        let clean = nature_run(&cfg);
+        let noisy = nature_run_with_error(
+            &cfg,
+            Some(ModelError::new(ModelErrorConfig::default(), 5)),
+        );
+        // Same initial truth, diverging trajectories.
+        assert_eq!(clean.truth[0], noisy.truth[0]);
+        let d: f64 = clean
+            .truth
+            .last()
+            .unwrap()
+            .iter()
+            .zip(noisy.truth.last().unwrap())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(d > 1e-9, "model error must perturb the nature run");
+    }
+
+    #[test]
+    fn feedback_called_every_cycle() {
+        struct Probe {
+            dim: usize,
+            calls: usize,
+        }
+        impl crate::traits::ForecastModel for Probe {
+            fn state_dim(&self) -> usize {
+                self.dim
+            }
+            fn forecast(&mut self, _state: &mut [f64], _hours: f64) {}
+            fn assimilate_feedback(&mut self, _p: &[f64], _c: &[f64]) {
+                self.calls += 1;
+            }
+        }
+        let cfg = tiny_config();
+        let nr = nature_run(&cfg);
+        let mut model = Probe { dim: 512, calls: 0 };
+        let mut scheme = NoAssimilation;
+        run_experiment("probe", &cfg, &nr, &mut model, &mut scheme);
+        assert_eq!(model.calls, cfg.cycles);
+    }
+}

@@ -1,0 +1,260 @@
+//! The ViT surrogate as a forecast model, with offline pre-training on SQG
+//! trajectories and the *online* fine-tuning of Fig. 1.
+//!
+//! Offline: roll the SQG model along its attractor and collect
+//! `(state_t, state_{t+Δ})` pairs of the Δ = 12 h flow map. Online: each
+//! assimilation cycle contributes the pair (previous analysis mean →
+//! current analysis mean), letting the surrogate absorb information from the
+//! observations — the paper's mechanism for correcting offline-trained
+//! foundation models.
+
+use crate::traits::ForecastModel;
+use sqg::{SqgModel, SqgParams};
+use stats::OnlineMoments;
+use vit::train::{Sample, Trainer};
+use vit::{SqgVit, VitConfig};
+
+/// ViT surrogate of the SQG 12-hour flow map.
+pub struct VitSurrogate {
+    model: SqgVit,
+    trainer: Trainer,
+    /// Simulated-hours step the network was trained to predict.
+    interval_hours: f64,
+    /// Normalization scale (states divided by this before the network).
+    scale: f64,
+    /// Gradient steps taken per `assimilate_feedback` call (0 disables
+    /// online learning — e.g. for the "ViT only" free run).
+    pub online_steps: usize,
+    /// Replay buffer of online samples.
+    online_buffer: Vec<Sample>,
+    /// Max replay-buffer length.
+    buffer_cap: usize,
+    /// Loss history (diagnostics).
+    pub loss_history: Vec<f32>,
+}
+
+impl VitSurrogate {
+    /// Creates an untrained surrogate for an `n × n × 2` SQG state.
+    pub fn new(config: VitConfig, interval_hours: f64, lr: f32, seed: u64) -> Self {
+        assert!(interval_hours > 0.0);
+        VitSurrogate {
+            model: SqgVit::new(config, seed),
+            trainer: Trainer::new(lr, 8, seed ^ 0x7A17),
+            interval_hours,
+            scale: 1.0,
+            online_steps: 0,
+            online_buffer: Vec::new(),
+            buffer_cap: 256,
+            loss_history: Vec::new(),
+        }
+    }
+
+    /// Generates `pairs` training pairs from an SQG trajectory started at
+    /// `seed`, after `spinup` model steps.
+    pub fn generate_training_data(
+        params: &SqgParams,
+        interval_hours: f64,
+        pairs: usize,
+        spinup: usize,
+        seed: u64,
+    ) -> Vec<(Vec<f64>, Vec<f64>)> {
+        let mut model = SqgModel::new(params.clone());
+        let steps = model.steps_per_hours(interval_hours);
+        let mut state = model.spinup_nature(seed, 0.05, spinup).to_state_vector();
+        let mut out = Vec::with_capacity(pairs);
+        for _ in 0..pairs {
+            let x = state.clone();
+            model.forecast(&mut state, steps);
+            out.push((x, state.clone()));
+        }
+        out
+    }
+
+    /// Offline pre-training on `(x, y)` state pairs for `epochs` epochs.
+    /// Sets the normalization scale from the data. Returns the final loss.
+    pub fn pretrain(&mut self, pairs: &[(Vec<f64>, Vec<f64>)], epochs: usize) -> f32 {
+        assert!(!pairs.is_empty(), "need training data");
+        // Scale: RMS of the inputs keeps activations O(1).
+        let mut acc = OnlineMoments::new();
+        for (x, _) in pairs {
+            for &v in x {
+                acc.push(v * v);
+            }
+        }
+        self.scale = acc.mean().sqrt().max(1e-12);
+
+        let data: Vec<Sample> = pairs
+            .iter()
+            .map(|(x, y)| Sample { x: self.to_f32(x), y: self.to_f32(y) })
+            .collect();
+        let mut last = f32::NAN;
+        for _ in 0..epochs {
+            last = self.trainer.epoch(&mut self.model, &data);
+            self.loss_history.push(last);
+        }
+        last
+    }
+
+    /// Online update: fine-tune on the latest analysis transition
+    /// (previous analysis mean → current analysis mean), plus replay.
+    pub fn online_update(&mut self, prev_analysis: &[f64], curr_analysis: &[f64], steps: usize) {
+        let sample =
+            Sample { x: self.to_f32(prev_analysis), y: self.to_f32(curr_analysis) };
+        self.online_buffer.push(sample);
+        if self.online_buffer.len() > self.buffer_cap {
+            self.online_buffer.remove(0);
+        }
+        for _ in 0..steps {
+            // Train on the freshest window of the replay buffer.
+            let window = 8.min(self.online_buffer.len());
+            let batch: Vec<Sample> =
+                self.online_buffer[self.online_buffer.len() - window..].to_vec();
+            let loss = self.trainer.step(&mut self.model, &batch);
+            self.loss_history.push(loss);
+        }
+    }
+
+    /// Number of learnable parameters.
+    pub fn num_params(&mut self) -> usize {
+        self.model.num_params()
+    }
+
+    fn to_f32(&self, state: &[f64]) -> Vec<f32> {
+        state.iter().map(|&v| (v / self.scale) as f32).collect()
+    }
+
+    fn rescale_f64(&self, state: &[f32]) -> Vec<f64> {
+        state.iter().map(|&v| v as f64 * self.scale).collect()
+    }
+}
+
+impl ForecastModel for VitSurrogate {
+    fn state_dim(&self) -> usize {
+        let c = self.model.config();
+        c.in_chans * c.input_size * c.input_size
+    }
+
+    fn assimilate_feedback(&mut self, prev_analysis: &[f64], curr_analysis: &[f64]) {
+        if self.online_steps > 0 {
+            self.online_update(prev_analysis, curr_analysis, self.online_steps);
+        }
+    }
+
+    fn forecast(&mut self, state: &mut [f64], hours: f64) {
+        let intervals = (hours / self.interval_hours).round() as usize;
+        assert!(
+            (hours - intervals as f64 * self.interval_hours).abs() < 1e-9,
+            "surrogate trained for {}h intervals, asked for {hours}h",
+            self.interval_hours
+        );
+        for _ in 0..intervals {
+            let x = self.to_f32(state);
+            let y = self.model.predict(&x);
+            state.copy_from_slice(&self.rescale_f64(&y));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> SqgParams {
+        SqgParams { n: 16, ..Default::default() }
+    }
+
+    fn small_vit() -> VitConfig {
+        VitConfig::small(16)
+    }
+
+    #[test]
+    fn training_data_consecutive_pairs_chain() {
+        let pairs =
+            VitSurrogate::generate_training_data(&small_params(), 12.0, 4, 10, 1);
+        assert_eq!(pairs.len(), 4);
+        // y of pair k is x of pair k+1 (a single trajectory).
+        for w in pairs.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        // Pairs must differ (the model moves).
+        for (x, y) in &pairs {
+            let d: f64 = x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum();
+            assert!(d > 1e-10);
+        }
+    }
+
+    #[test]
+    fn pretraining_beats_persistence_proxy() {
+        // After pre-training, the surrogate's prediction should be closer to
+        // the true 12 h evolution than an untrained network's output is.
+        let params = small_params();
+        let pairs = VitSurrogate::generate_training_data(&params, 12.0, 24, 50, 2);
+        let mut sur = VitSurrogate::new(small_vit(), 12.0, 3e-3, 7);
+        let first_loss = sur.pretrain(&pairs[..16], 1);
+        let final_loss = sur.pretrain(&pairs[..16], 30);
+        assert!(
+            final_loss < 0.7 * first_loss,
+            "pre-training must reduce loss: {first_loss} -> {final_loss}"
+        );
+    }
+
+    #[test]
+    fn forecast_respects_interval() {
+        let pairs = VitSurrogate::generate_training_data(&small_params(), 12.0, 4, 10, 3);
+        let mut sur = VitSurrogate::new(small_vit(), 12.0, 1e-3, 5);
+        sur.pretrain(&pairs, 2);
+        let mut state = pairs[0].0.clone();
+        sur.forecast(&mut state, 24.0); // two intervals: fine
+        assert!(state.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn fractional_interval_rejected() {
+        let pairs = VitSurrogate::generate_training_data(&small_params(), 12.0, 2, 5, 4);
+        let mut sur = VitSurrogate::new(small_vit(), 12.0, 1e-3, 5);
+        sur.pretrain(&pairs, 1);
+        let mut state = pairs[0].0.clone();
+        sur.forecast(&mut state, 7.0);
+    }
+
+    #[test]
+    fn online_update_reduces_loss_on_new_regime() {
+        let mut sur = VitSurrogate::new(small_vit(), 12.0, 3e-3, 9);
+        // Pretrain on a trivial map so scale is set.
+        let dim = 512;
+        let pairs: Vec<(Vec<f64>, Vec<f64>)> = (0..8)
+            .map(|k| {
+                let x: Vec<f64> = (0..dim).map(|i| ((i + k) as f64 * 0.1).sin()).collect();
+                (x.clone(), x)
+            })
+            .collect();
+        sur.pretrain(&pairs, 5);
+        // New regime: negated identity.
+        let x: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.05).cos()).collect();
+        let y: Vec<f64> = x.iter().map(|v| -v).collect();
+        let err_before = {
+            let mut s = x.clone();
+            sur.forecast(&mut s, 12.0);
+            stats::metrics::rmse(&s, &y)
+        };
+        for _ in 0..40 {
+            sur.online_update(&x, &y, 2);
+        }
+        let err_after = {
+            let mut s = x.clone();
+            sur.forecast(&mut s, 12.0);
+            stats::metrics::rmse(&s, &y)
+        };
+        assert!(
+            err_after < 0.6 * err_before,
+            "online updates must adapt: {err_before} -> {err_after}"
+        );
+    }
+
+    #[test]
+    fn state_dim_matches_config() {
+        let sur = VitSurrogate::new(small_vit(), 12.0, 1e-3, 1);
+        assert_eq!(sur.state_dim(), 512);
+    }
+}

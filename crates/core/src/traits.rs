@@ -1,0 +1,286 @@
+//! Framework interfaces: forecast models and analysis schemes.
+//!
+//! The workflow of Fig. 1 is generic in both slots: the forecast model can
+//! be the physics-based SQG, the ViT surrogate, or any AI foundation model;
+//! the analysis scheme can be EnSF, LETKF, or nothing (free runs).
+
+use stats::Ensemble;
+
+/// A forecast model advancing a flat state vector through time.
+pub trait ForecastModel {
+    /// State dimension.
+    fn state_dim(&self) -> usize;
+
+    /// Advances `state` by `hours` of simulated time in place.
+    fn forecast(&mut self, state: &mut [f64], hours: f64);
+
+    /// Advances every member of an ensemble (default: member loop).
+    fn forecast_ensemble(&mut self, ensemble: &mut Ensemble, hours: f64) {
+        for m in 0..ensemble.members() {
+            self.forecast(ensemble.member_mut(m), hours);
+        }
+    }
+
+    /// Online adaptation hook (Fig. 1): after each analysis the workflow
+    /// feeds the analyzed transition back to the model, letting learned
+    /// surrogates absorb observational information. Physics models ignore
+    /// it (default no-op).
+    fn assimilate_feedback(&mut self, _prev_analysis: &[f64], _curr_analysis: &[f64]) {}
+}
+
+/// An analysis scheme combining a forecast ensemble with observations of
+/// the full state (the paper's `h = I` OSSE setting).
+pub trait AnalysisScheme {
+    /// Human-readable name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Produces the analysis ensemble from the forecast ensemble and the
+    /// observation vector.
+    fn analyze(&mut self, forecast: &Ensemble, observation: &[f64]) -> Ensemble;
+}
+
+/// The "no assimilation" scheme: analysis = forecast (free run).
+#[derive(Debug, Clone, Default)]
+pub struct NoAssimilation;
+
+impl AnalysisScheme for NoAssimilation {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn analyze(&mut self, forecast: &Ensemble, _observation: &[f64]) -> Ensemble {
+        forecast.clone()
+    }
+}
+
+/// EnSF adapter over identity observations with error `sigma`.
+pub struct EnsfScheme {
+    filter: ensf::Ensf,
+    obs: ensf::IdentityObs,
+}
+
+impl EnsfScheme {
+    /// Builds the scheme for a `dim`-dimensional state.
+    pub fn new(config: ensf::EnsfConfig, dim: usize, obs_sigma: f64) -> Self {
+        EnsfScheme { filter: ensf::Ensf::new(config), obs: ensf::IdentityObs::new(dim, obs_sigma) }
+    }
+}
+
+impl AnalysisScheme for EnsfScheme {
+    fn name(&self) -> &str {
+        "EnSF"
+    }
+
+    fn analyze(&mut self, forecast: &Ensemble, observation: &[f64]) -> Ensemble {
+        self.filter.analyze(forecast, observation, &self.obs)
+    }
+}
+
+/// EnSF adapter over a *sparse* network observing every `stride`-th state
+/// component. The workflow still hands the full noisy-state vector to the
+/// scheme (the OSSE measures everything); the scheme subsamples it, so only
+/// the network's share of the information reaches the filter.
+pub struct SparseEnsfScheme {
+    filter: ensf::Ensf,
+    obs: ensf::StridedObs,
+    stride: usize,
+}
+
+impl SparseEnsfScheme {
+    /// Builds the scheme for a `dim`-dimensional state observed at every
+    /// `stride`-th component.
+    pub fn new(config: ensf::EnsfConfig, dim: usize, stride: usize, obs_sigma: f64) -> Self {
+        assert!(stride >= 1);
+        SparseEnsfScheme {
+            filter: ensf::Ensf::new(config),
+            obs: ensf::StridedObs::new(dim, stride, obs_sigma),
+            stride,
+        }
+    }
+}
+
+impl AnalysisScheme for SparseEnsfScheme {
+    fn name(&self) -> &str {
+        "EnSF-sparse"
+    }
+
+    fn analyze(&mut self, forecast: &Ensemble, observation: &[f64]) -> Ensemble {
+        let y: Vec<f64> = observation.iter().step_by(self.stride).copied().collect();
+        self.filter.analyze(forecast, &y, &self.obs)
+    }
+}
+
+/// LETKF adapter over the two-level SQG grid with identity observations,
+/// optionally thinned to every `stride`-th grid point (sparse networks are
+/// LETKF's home turf: localization spreads the sparse information).
+pub struct LetkfScheme {
+    filter: letkf::Letkf,
+    obs_sigma: f64,
+    stride: usize,
+}
+
+impl LetkfScheme {
+    /// Builds the scheme for an `n × n × 2` grid with physical parameters
+    /// from `params` (Rossby-coupled vertical localization).
+    pub fn new(config: letkf::LetkfConfig, params: &sqg::SqgParams, obs_sigma: f64) -> Self {
+        Self::with_stride(config, params, obs_sigma, 1)
+    }
+
+    /// Same, observing only every `stride`-th state component.
+    pub fn with_stride(
+        config: letkf::LetkfConfig,
+        params: &sqg::SqgParams,
+        obs_sigma: f64,
+        stride: usize,
+    ) -> Self {
+        assert!(stride >= 1);
+        let geometry = letkf::GridGeometry::new(
+            params.n,
+            sqg::LEVELS,
+            params.domain,
+            params.rossby_radius(),
+        );
+        LetkfScheme { filter: letkf::Letkf::new(config, geometry), obs_sigma, stride }
+    }
+}
+
+impl AnalysisScheme for LetkfScheme {
+    fn name(&self) -> &str {
+        "LETKF"
+    }
+
+    fn analyze(&mut self, forecast: &Ensemble, observation: &[f64]) -> Ensemble {
+        let network: Vec<letkf::PointObs> = observation
+            .iter()
+            .enumerate()
+            .step_by(self.stride)
+            .map(|(i, &v)| letkf::PointObs { state_index: i, value: v, sigma: self.obs_sigma })
+            .collect();
+        self.filter.analyze(forecast, &network)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+    impl ForecastModel for Doubler {
+        fn state_dim(&self) -> usize {
+            3
+        }
+        fn forecast(&mut self, state: &mut [f64], hours: f64) {
+            for v in state.iter_mut() {
+                *v *= 2.0f64.powf(hours / 12.0);
+            }
+        }
+    }
+
+    #[test]
+    fn default_ensemble_forecast_maps_members() {
+        let mut model = Doubler;
+        let mut e = Ensemble::from_members(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        model.forecast_ensemble(&mut e, 12.0);
+        assert_eq!(e.member(0), &[2.0, 4.0, 6.0]);
+        assert_eq!(e.member(1), &[8.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn no_assimilation_is_identity() {
+        let mut s = NoAssimilation;
+        let e = Ensemble::from_members(&[vec![1.0], vec![2.0]]);
+        let a = s.analyze(&e, &[5.0]);
+        assert_eq!(a, e);
+        assert_eq!(s.name(), "none");
+    }
+
+    #[test]
+    fn ensf_scheme_assimilates() {
+        let mut scheme = EnsfScheme::new(
+            ensf::EnsfConfig { n_steps: 20, seed: 1, ..Default::default() },
+            4,
+            0.5,
+        );
+        assert_eq!(scheme.name(), "EnSF");
+        let members: Vec<Vec<f64>> = (0..12).map(|m| vec![0.1 * m as f64 - 0.55; 4]).collect();
+        let fc = Ensemble::from_members(&members);
+        let an = scheme.analyze(&fc, &[1.0; 4]);
+        let before = fc.mean()[0];
+        let after = an.mean()[0];
+        assert!((after - 1.0).abs() < (before - 1.0).abs(), "EnSF must pull toward obs");
+    }
+
+    #[test]
+    fn sparse_schemes_only_use_their_network() {
+        // With stride 2, perturbing an UNOBSERVED component of the
+        // observation vector must not change the analysis.
+        let members: Vec<Vec<f64>> = (0..10).map(|m| vec![0.1 * m as f64; 8]).collect();
+        let fc = Ensemble::from_members(&members);
+        let mut scheme = SparseEnsfScheme::new(
+            ensf::EnsfConfig { n_steps: 15, seed: 2, ..Default::default() },
+            8,
+            2,
+            0.5,
+        );
+        assert_eq!(scheme.name(), "EnSF-sparse");
+        let mut y = vec![1.0; 8];
+        let a1 = scheme.analyze(&fc, &y);
+        y[1] = 99.0; // unobserved slot
+        let mut scheme2 = SparseEnsfScheme::new(
+            ensf::EnsfConfig { n_steps: 15, seed: 2, ..Default::default() },
+            8,
+            2,
+            0.5,
+        );
+        let a2 = scheme2.analyze(&fc, &y);
+        assert_eq!(a1.as_slice(), a2.as_slice());
+    }
+
+    #[test]
+    fn letkf_stride_thins_network() {
+        let params = sqg::SqgParams { n: 4, ..Default::default() };
+        let mut dense = LetkfScheme::new(
+            letkf::LetkfConfig { rtps_alpha: 0.0, ..Default::default() },
+            &params,
+            0.3,
+        );
+        let mut sparse = LetkfScheme::with_stride(
+            letkf::LetkfConfig { rtps_alpha: 0.0, ..Default::default() },
+            &params,
+            0.3,
+            4,
+        );
+        let members: Vec<Vec<f64>> = (0..10).map(|m| vec![0.2 * m as f64 - 0.9; 32]).collect();
+        let fc = Ensemble::from_members(&members);
+        let y = vec![1.0; 32];
+        let ad = dense.analyze(&fc, &y);
+        let asp = sparse.analyze(&fc, &y);
+        let pull = |e: &Ensemble, i: usize| (e.mean()[i] - fc.mean()[i]).abs();
+        // Component 1 is unobserved by the sparse network (and, with the
+        // default 2000 km cutoff on this coarse 5000 km-spacing grid, out of
+        // range of every sparse observation): only the dense network
+        // updates it.
+        assert!(pull(&ad, 1) > 1e-6, "dense must update component 1");
+        assert!(pull(&asp, 1) < 1e-12, "sparse must leave component 1 alone");
+        // The observed component moves under both.
+        assert!(pull(&asp, 0) > 1e-6);
+        assert!(pull(&ad, 0) > 1e-6);
+    }
+
+    #[test]
+    fn letkf_scheme_assimilates() {
+        let params = sqg::SqgParams { n: 4, ..Default::default() };
+        let mut scheme = LetkfScheme::new(
+            letkf::LetkfConfig { rtps_alpha: 0.0, ..Default::default() },
+            &params,
+            0.3,
+        );
+        assert_eq!(scheme.name(), "LETKF");
+        let members: Vec<Vec<f64>> = (0..10).map(|m| vec![0.2 * m as f64 - 0.9; 32]).collect();
+        let fc = Ensemble::from_members(&members);
+        let an = scheme.analyze(&fc, &[1.0; 32]);
+        let before = fc.mean()[0];
+        let after = an.mean()[0];
+        assert!((after - 1.0).abs() < (before - 1.0).abs(), "LETKF must pull toward obs");
+    }
+}

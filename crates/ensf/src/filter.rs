@@ -1,0 +1,340 @@
+//! The Ensemble Score Filter analysis step.
+//!
+//! One `analyze` call implements the paper's update step (§III-A2):
+//!
+//! 1. estimate the prior score from the forecast ensemble (training-free
+//!    Monte-Carlo, Eqs. 15–16);
+//! 2. form the posterior score by adding the damped analytic likelihood
+//!    score, `ŝ_post(z, t) = ŝ_prior(z, t) + h(t) ∇ log p(y | z)` (Eq. 17);
+//! 3. draw `M` fresh `N(0, I)` samples and push each through the
+//!    discretized reverse-time SDE (Eq. 7) with `ŝ_post`;
+//! 4. optionally relax the analysis spread toward the forecast spread
+//!    (the paper's stability safeguard in lieu of localization/inflation).
+//!
+//! Particles are independent given the (read-only) forecast ensemble, so
+//! step 3 parallelizes embarrassingly — rayon here, simulated MPI ranks in
+//! [`crate::parallel`].
+
+use crate::obs::ObservationOperator;
+use crate::schedule::DiffusionSchedule;
+use crate::score::ScoreEstimator;
+use crate::sde::{reverse_sde_assimilate, TimeGrid};
+use rand::seq::SliceRandom;
+use rayon::prelude::*;
+use stats::gaussian::fill_standard_normal;
+use stats::rng::{member_rng, seeded, split_seed};
+use stats::Ensemble;
+
+/// EnSF configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsfConfig {
+    /// Euler steps for the reverse-time SDE (pseudo-time resolution).
+    pub n_steps: usize,
+    /// Mini-batch size `J` for the Monte-Carlo score (Eq. 15);
+    /// `None` uses the whole ensemble.
+    pub minibatch: Option<usize>,
+    /// Diffusion schedule (endpoint clamp).
+    pub schedule: DiffusionSchedule,
+    /// Base seed; each analysis cycle and member derives its own stream.
+    pub seed: u64,
+    /// Spread relaxation weight `r ∈ [0, 1]`: per-variable analysis std is
+    /// blended as `(1 − r) σ_a + r σ_f`. The paper relaxes the analysis
+    /// spread to the prior to guarantee long-term stability; `1.0`
+    /// reproduces that choice.
+    pub spread_relaxation: f64,
+}
+
+impl Default for EnsfConfig {
+    fn default() -> Self {
+        EnsfConfig {
+            n_steps: 50,
+            minibatch: None,
+            schedule: DiffusionSchedule::default(),
+            seed: 0,
+            spread_relaxation: 1.0,
+        }
+    }
+}
+
+impl EnsfConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_steps == 0 {
+            return Err("n_steps must be positive".into());
+        }
+        if let Some(j) = self.minibatch {
+            if j == 0 {
+                return Err("minibatch must be nonempty".into());
+            }
+        }
+        if !(0.0..=1.0).contains(&self.spread_relaxation) {
+            return Err(format!("spread_relaxation must be in [0,1], got {}", self.spread_relaxation));
+        }
+        Ok(())
+    }
+}
+
+/// The Ensemble Score Filter.
+#[derive(Debug, Clone)]
+pub struct Ensf {
+    config: EnsfConfig,
+    /// Analysis cycle counter: decorrelates RNG streams across cycles.
+    cycle: u64,
+}
+
+impl Ensf {
+    /// Creates a filter with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(config: EnsfConfig) -> Self {
+        config.validate().expect("invalid EnSF configuration");
+        Ensf { config, cycle: 0 }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EnsfConfig {
+        &self.config
+    }
+
+    /// Performs one analysis: combines the forecast ensemble with the
+    /// observation `y` under `obs`, returning the analysis ensemble.
+    pub fn analyze(
+        &mut self,
+        forecast: &Ensemble,
+        y: &[f64],
+        obs: &impl ObservationOperator,
+    ) -> Ensemble {
+        assert_eq!(y.len(), obs.obs_dim(), "observation length mismatch");
+        let members = forecast.members();
+        let dim = forecast.dim();
+        let cycle_seed = split_seed(self.config.seed, self.cycle.wrapping_add(0x5151));
+        self.cycle += 1;
+
+        // Mini-batch selection for the score MC sum (shared by all particles
+        // within a cycle, re-drawn each cycle).
+        let batch: Vec<usize> = match self.config.minibatch {
+            Some(j) if j < members => {
+                let mut idx: Vec<usize> = (0..members).collect();
+                let mut rng = seeded(split_seed(cycle_seed, 0xBA7C4));
+                idx.shuffle(&mut rng);
+                idx.truncate(j);
+                idx
+            }
+            _ => (0..members).collect(),
+        };
+
+        let estimator = ScoreEstimator::new(
+            forecast.as_slice(),
+            members,
+            dim,
+            self.config.schedule,
+        )
+        .with_batch(batch);
+
+        let schedule = self.config.schedule;
+        let n_steps = self.config.n_steps;
+
+        // Each particle: fresh Gaussian start, reverse SDE with posterior
+        // score = prior score + damped likelihood score.
+        let mut analysis = Ensemble::zeros(members, dim);
+        analysis
+            .as_mut_slice()
+            .par_chunks_mut(dim)
+            .enumerate()
+            .for_each(|(m, out)| {
+                let mut rng = member_rng(cycle_seed, m);
+                fill_standard_normal(&mut rng, out);
+                let mut scratch = vec![0.0; estimator.batch_len()];
+                reverse_sde_assimilate(
+                    out,
+                    &schedule,
+                    n_steps,
+                    TimeGrid::LogSpaced,
+                    |z, t, s| {
+                        estimator.score_into(z, t, s, &mut scratch);
+                    },
+                    obs,
+                    y,
+                    &mut rng,
+                );
+            });
+
+        if self.config.spread_relaxation > 0.0 {
+            relax_spread(&mut analysis, forecast, self.config.spread_relaxation);
+        }
+        analysis
+    }
+}
+
+/// Relaxes the per-variable analysis spread toward the forecast spread:
+/// anomalies are rescaled so `σ_new = (1 − r) σ_a + r σ_f`.
+fn relax_spread(analysis: &mut Ensemble, forecast: &Ensemble, r: f64) {
+    let dim = analysis.dim();
+    let var_a = analysis.variance();
+    let var_f = forecast.variance();
+    let mean = analysis.mean();
+    let mut scale = vec![1.0; dim];
+    for i in 0..dim {
+        let sa = var_a[i].sqrt();
+        let sf = var_f[i].sqrt();
+        if sa > 1e-300 {
+            scale[i] = ((1.0 - r) * sa + r * sf) / sa;
+        }
+    }
+    for member in analysis.iter_mut() {
+        for ((x, mu), s) in member.iter_mut().zip(&mean).zip(&scale) {
+            *x = mu + (*x - mu) * s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::{ArctanObs, IdentityObs};
+    use stats::gaussian::standard_normal;
+    use stats::rng::seeded;
+
+    fn gaussian_ensemble(members: usize, dim: usize, mean: f64, sd: f64, seed: u64) -> Ensemble {
+        let mut rng = seeded(seed);
+        let mut e = Ensemble::zeros(members, dim);
+        for m in 0..members {
+            for x in e.member_mut(m) {
+                *x = mean + sd * standard_normal(&mut rng);
+            }
+        }
+        e
+    }
+
+    #[test]
+    fn analysis_moves_toward_observation() {
+        // Forecast centered at 0, obs at 2 with tight error: analysis mean
+        // should move decisively toward the observation.
+        let fc = gaussian_ensemble(40, 4, 0.0, 1.0, 1);
+        let obs = IdentityObs::new(4, 0.3);
+        let y = vec![2.0; 4];
+        let mut filter = Ensf::new(EnsfConfig { seed: 7, ..Default::default() });
+        let an = filter.analyze(&fc, &y, &obs);
+        let mean = an.mean();
+        let avg = mean.iter().sum::<f64>() / mean.len() as f64;
+        assert!(avg > 0.5, "analysis mean {avg} did not move toward obs");
+        assert!(avg < 2.4, "analysis mean {avg} overshot");
+        for mu in &mean {
+            assert!(*mu > -0.5 && *mu < 2.8, "component ran away: {mu}");
+        }
+    }
+
+    #[test]
+    fn loose_observation_changes_little() {
+        let fc = gaussian_ensemble(40, 4, 0.0, 0.5, 2);
+        let obs = IdentityObs::new(4, 100.0); // essentially uninformative
+        let y = vec![5.0; 4];
+        let mut filter = Ensf::new(EnsfConfig { seed: 3, ..Default::default() });
+        let an = filter.analyze(&fc, &y, &obs);
+        for mu in &an.mean() {
+            assert!(mu.abs() < 0.6, "uninformative obs should not move mean much: {mu}");
+        }
+    }
+
+    #[test]
+    fn spread_relaxation_restores_forecast_spread() {
+        let fc = gaussian_ensemble(30, 6, 0.0, 1.0, 4);
+        let obs = IdentityObs::new(6, 0.1);
+        let y = vec![0.5; 6];
+        let mut with = Ensf::new(EnsfConfig { seed: 5, spread_relaxation: 1.0, ..Default::default() });
+        let mut without =
+            Ensf::new(EnsfConfig { seed: 5, spread_relaxation: 0.0, ..Default::default() });
+        let an_with = with.analyze(&fc, &y, &obs);
+        let an_without = without.analyze(&fc, &y, &obs);
+        // Full relaxation pins the per-variable spread at the forecast's.
+        let vf = fc.variance();
+        let vw = an_with.variance();
+        for (a, b) in vw.iter().zip(&vf) {
+            assert!((a.sqrt() - b.sqrt()).abs() < 1e-9, "{a} vs {b}");
+        }
+        // A tight observation should otherwise shrink the spread.
+        assert!(an_without.spread() < an_with.spread());
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_cycle() {
+        let fc = gaussian_ensemble(16, 3, 1.0, 0.5, 6);
+        let obs = IdentityObs::new(3, 0.5);
+        let y = vec![1.5; 3];
+        let run = || {
+            let mut f = Ensf::new(EnsfConfig { seed: 42, ..Default::default() });
+            f.analyze(&fc, &y, &obs)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn consecutive_cycles_use_fresh_noise() {
+        let fc = gaussian_ensemble(16, 3, 1.0, 0.5, 6);
+        let obs = IdentityObs::new(3, 0.5);
+        let y = vec![1.5; 3];
+        let mut f = Ensf::new(EnsfConfig { seed: 42, ..Default::default() });
+        let a = f.analyze(&fc, &y, &obs);
+        let b = f.analyze(&fc, &y, &obs);
+        assert_ne!(a.as_slice(), b.as_slice(), "cycles must not reuse RNG streams");
+    }
+
+    #[test]
+    fn minibatch_analysis_still_tracks_observation() {
+        let fc = gaussian_ensemble(40, 4, 0.0, 1.0, 8);
+        let obs = IdentityObs::new(4, 0.3);
+        let y = vec![1.5; 4];
+        let mut f = Ensf::new(EnsfConfig { seed: 1, minibatch: Some(10), ..Default::default() });
+        let an = f.analyze(&fc, &y, &obs);
+        let mean = an.mean();
+        let avg = mean.iter().sum::<f64>() / mean.len() as f64;
+        assert!(avg > 0.3, "minibatch analysis mean {avg}");
+    }
+
+    #[test]
+    fn nonlinear_observation_supported() {
+        // Truth at x=1.2 observed through arctan; forecast centered at 0.
+        let fc = gaussian_ensemble(60, 2, 0.0, 1.0, 9);
+        let obs = ArctanObs::new(2, 0.05);
+        let truth = [1.2, 1.2];
+        let mut y = vec![0.0; 2];
+        obs.apply(&truth, &mut y);
+        let mut f = Ensf::new(EnsfConfig { seed: 10, ..Default::default() });
+        let an = f.analyze(&fc, &y, &obs);
+        for mu in &an.mean() {
+            assert!((mu - 1.2).abs() < 0.7, "nonlinear obs analysis mean {mu}");
+        }
+    }
+
+    #[test]
+    fn analysis_is_finite_in_high_dim() {
+        let fc = gaussian_ensemble(20, 2048, 0.0, 1.0, 11);
+        let obs = IdentityObs::new(2048, 1.0);
+        let y = vec![0.3; 2048];
+        let mut f = Ensf::new(EnsfConfig { seed: 2, n_steps: 20, ..Default::default() });
+        let an = f.analyze(&fc, &y, &obs);
+        assert!(an.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_obs_length_panics() {
+        let fc = gaussian_ensemble(8, 3, 0.0, 1.0, 1);
+        let obs = IdentityObs::new(3, 1.0);
+        let mut f = Ensf::new(EnsfConfig::default());
+        let _ = f.analyze(&fc, &[0.0; 2], &obs);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(EnsfConfig { n_steps: 0, ..Default::default() }.validate().is_err());
+        assert!(EnsfConfig { minibatch: Some(0), ..Default::default() }.validate().is_err());
+        assert!(
+            EnsfConfig { spread_relaxation: 1.5, ..Default::default() }.validate().is_err()
+        );
+        assert!(EnsfConfig::default().validate().is_ok());
+    }
+}

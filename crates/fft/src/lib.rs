@@ -1,0 +1,42 @@
+//! # fft — spectral transform substrate
+//!
+//! From-scratch FFTs backing the SQG turbulence model and the spectral
+//! diagnostics of the data-assimilation framework:
+//!
+//! - [`Complex`] — a minimal `f64` complex type.
+//! - [`FftPlan`] — reusable 1-D plans; radix-2 Cooley–Tukey for power-of-two
+//!   lengths, Bluestein chirp-z for everything else.
+//! - [`Fft2`] — 2-D transforms with cache-blocked transposes and rayon
+//!   parallelism for large grids.
+//! - [`real`] — real-signal helpers and Hermitian-symmetry utilities.
+//!
+//! ## Conventions
+//!
+//! Forward: `X[k] = Σ_n x[n] e^{-2πi nk/N}` (unnormalized).
+//! Inverse: `x[n] = (1/N) Σ_k X[k] e^{+2πi nk/N}`.
+//! A forward followed by an inverse transform is the identity.
+//!
+//! ```
+//! use fft::{Complex, Direction, FftPlan};
+//!
+//! let plan = FftPlan::new(8, Direction::Forward);
+//! let mut data = vec![Complex::ONE; 8];
+//! plan.process(&mut data);
+//! assert!((data[0].re - 8.0).abs() < 1e-12); // DC bin picks up the sum
+//! ```
+
+#![warn(missing_docs)]
+// Numeric kernels here read/write several arrays at matched indices;
+// explicit index loops are the clearer idiom (butterfly kernels index multiple parallel arrays).
+#![allow(clippy::needless_range_loop)]
+
+mod bluestein;
+mod complex;
+mod fft2;
+mod plan;
+mod radix2;
+pub mod real;
+
+pub use complex::Complex;
+pub use fft2::{irfft2, rfft2, transpose, transpose_into, Fft2};
+pub use plan::{Direction, FftPlan};

@@ -1,0 +1,123 @@
+//! Real-input transforms and spectral-convention helpers.
+//!
+//! The SQG model stores full complex spectra (simplicity over packed rfft
+//! layouts), but diagnostics and the observation pipeline work with real
+//! fields. These helpers convert between the two and expose the Hermitian
+//! symmetry checks used by the property tests.
+
+use crate::complex::Complex;
+use crate::plan::{Direction, FftPlan};
+
+/// Forward-transforms a real signal, returning the full complex spectrum.
+pub fn rfft(input: &[f64]) -> Vec<Complex> {
+    let mut buf: Vec<Complex> = input.iter().map(|&x| Complex::from_re(x)).collect();
+    FftPlan::new(input.len(), Direction::Forward).process(&mut buf);
+    buf
+}
+
+/// Inverse-transforms a Hermitian-symmetric spectrum back to a real signal.
+///
+/// The imaginary residue left by rounding is discarded; callers that want to
+/// validate symmetry first can use [`hermitian_symmetry_error`].
+pub fn irfft(spectrum: &[Complex]) -> Vec<f64> {
+    let mut buf = spectrum.to_vec();
+    FftPlan::new(spectrum.len(), Direction::Inverse).process(&mut buf);
+    buf.into_iter().map(|z| z.re).collect()
+}
+
+/// Maximum deviation of `spectrum` from exact Hermitian symmetry
+/// (`X[k] == conj(X[n-k])`), which characterizes the spectrum of a real
+/// signal. Returns 0 for lengths < 2.
+pub fn hermitian_symmetry_error(spectrum: &[Complex]) -> f64 {
+    let n = spectrum.len();
+    let mut worst = 0.0f64;
+    for k in 1..n {
+        let d = (spectrum[k] - spectrum[n - k].conj()).abs();
+        if d > worst {
+            worst = d;
+        }
+    }
+    // DC (and Nyquist for even n) must be purely real.
+    worst = worst.max(spectrum[0].im.abs());
+    if n.is_multiple_of(2) && n > 0 {
+        worst = worst.max(spectrum[n / 2].im.abs());
+    }
+    worst
+}
+
+/// Enforces Hermitian symmetry in place by averaging conjugate pairs.
+///
+/// Spectral filters in the DA update can leave tiny asymmetries after
+/// round-off; projecting back keeps the physical fields exactly real.
+pub fn symmetrize_hermitian(spectrum: &mut [Complex]) {
+    let n = spectrum.len();
+    if n == 0 {
+        return;
+    }
+    spectrum[0].im = 0.0;
+    if n.is_multiple_of(2) {
+        spectrum[n / 2].im = 0.0;
+    }
+    for k in 1..n.div_ceil(2) {
+        let avg = (spectrum[k] + spectrum[n - k].conj()) * 0.5;
+        spectrum[k] = avg;
+        spectrum[n - k] = avg.conj();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_round_trip() {
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin() + 0.5).collect();
+        let spec = rfft(&x);
+        let back = irfft(&spec);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn real_signal_spectrum_is_hermitian() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64).cos() * (i as f64 * 0.1).exp()).collect();
+        let spec = rfft(&x);
+        assert!(hermitian_symmetry_error(&spec) < 1e-9);
+    }
+
+    #[test]
+    fn symmetrize_produces_real_inverse() {
+        // Start from a deliberately asymmetric spectrum.
+        let mut spec: Vec<Complex> =
+            (0..16).map(|k| Complex::new(k as f64, (k as f64).sin())).collect();
+        symmetrize_hermitian(&mut spec);
+        assert!(hermitian_symmetry_error(&spec) < 1e-12);
+        let mut buf = spec.clone();
+        FftPlan::new(16, Direction::Inverse).process(&mut buf);
+        for z in &buf {
+            assert!(z.im.abs() < 1e-10, "inverse not real: {z:?}");
+        }
+    }
+
+    #[test]
+    fn symmetrize_is_idempotent() {
+        let mut spec: Vec<Complex> =
+            (0..15).map(|k| Complex::new((k as f64).cos(), (k * k) as f64 * 0.01)).collect();
+        symmetrize_hermitian(&mut spec);
+        let once = spec.clone();
+        symmetrize_hermitian(&mut spec);
+        for (a, b) in once.iter().zip(&spec) {
+            assert!((*a - *b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn odd_length_round_trip() {
+        let x: Vec<f64> = (0..21).map(|i| (i as f64 * 0.7).cos()).collect();
+        let back = irfft(&rfft(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

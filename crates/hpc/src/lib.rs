@@ -1,0 +1,41 @@
+//! # hpc — the Frontier performance-simulation substrate
+//!
+//! The paper's scalability results (Figs. 6–10) were measured on the
+//! Frontier supercomputer; this crate replaces that hardware with calibrated
+//! analytic models plus a real in-process rank runtime:
+//!
+//! - [`Topology`] — Frontier's node/GCD/fabric shape.
+//! - [`collective`] — RCCL α–β cost models for AllReduce / AllGather /
+//!   ReduceScatter, including the empirical ~256 MB AllReduce dip (Fig. 8).
+//! - [`gemm_model`] — MI250X kernel-shape efficiency (Fig. 6's heatmap).
+//! - [`Strategy`] — Table I's DDP/FSDP/ZeRO taxonomy with per-GCD memory
+//!   and per-step communication footprints.
+//! - [`simulate`] — training-step breakdown (Fig. 7), strong scaling
+//!   (Fig. 9), and the EnSF weak-scaling model (Fig. 10).
+//! - [`mpi`] — a simulated MPI world (threads + channels) used to run the
+//!   EnSF rank decomposition for real at laptop scale.
+//!
+//! Absolute times are model outputs, not measurements; the *shapes*
+//! (who wins, crossovers, efficiency trends) are the reproduction target —
+//! see DESIGN.md §2 for the substitution argument.
+
+#![warn(missing_docs)]
+// Numeric kernels here read/write several arrays at matched indices;
+// explicit index loops are the clearer idiom (rank loops index multiple parallel arrays).
+#![allow(clippy::needless_range_loop)]
+
+pub mod collective;
+pub mod gemm_model;
+pub mod mpi;
+pub mod simulate;
+mod strategy;
+mod topology;
+
+pub use collective::{bus_bandwidth, collective_time, Collective};
+pub use gemm_model::{achieved_flops, fig6_heatmap, KernelShape, GCD_PEAK_FLOPS};
+pub use simulate::{
+    ensf_step_time, is_realtime, scaling_curve, simulate_step, workflow_cycle_time, EnsfJob,
+    StepBreakdown, TrainJob, WorkflowCycle,
+};
+pub use strategy::{bytes_per_param, Strategy};
+pub use topology::Topology;

@@ -1,0 +1,286 @@
+//! An in-process simulated MPI runtime.
+//!
+//! Real concurrent "ranks" (one OS thread each) exchanging typed messages
+//! over crossbeam channels, with the point-to-point and collective
+//! operations the EnSF decomposition needs: `send`/`recv` (tagged, with
+//! out-of-order buffering), `barrier`, `allreduce_sum`, `gather` and
+//! `broadcast`. This gives the repository a faithful stand-in for the MPI
+//! parallelization of §III-A3 that runs — and is tested — on one machine.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cell::RefCell;
+use std::sync::{Arc, Barrier};
+
+/// A tagged message between ranks.
+#[derive(Debug, Clone)]
+struct Message {
+    src: usize,
+    tag: u64,
+    data: Vec<f64>,
+}
+
+/// Per-rank communicator handle.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Message>>,
+    inbox: Receiver<Message>,
+    barrier: Arc<Barrier>,
+    pending: RefCell<Vec<Message>>,
+}
+
+impl Comm {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Sends `data` to `dst` with `tag`.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range (matching MPI's erroneous-rank abort).
+    pub fn send(&self, dst: usize, tag: u64, data: &[f64]) {
+        assert!(dst < self.size, "send to invalid rank {dst}");
+        self.senders[dst]
+            .send(Message { src: self.rank, tag, data: data.to_vec() })
+            .expect("receiver hung up");
+    }
+
+    /// Blocking receive of the next message from `src` with `tag`.
+    /// Messages from other sources/tags arriving first are buffered.
+    pub fn recv(&self, src: usize, tag: u64) -> Vec<f64> {
+        // Check the out-of-order buffer first.
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) =
+                pending.iter().position(|m| m.src == src && m.tag == tag)
+            {
+                return pending.swap_remove(pos).data;
+            }
+        }
+        loop {
+            let msg = self.inbox.recv().expect("all senders dropped");
+            if msg.src == src && msg.tag == tag {
+                return msg.data;
+            }
+            self.pending.borrow_mut().push(msg);
+        }
+    }
+
+    /// Synchronizes all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Elementwise sum-reduction of `buf` across all ranks; every rank ends
+    /// with the global sum (gather-to-root + broadcast).
+    pub fn allreduce_sum(&self, buf: &mut [f64]) {
+        const TAG_GATHER: u64 = u64::MAX - 1;
+        const TAG_BCAST: u64 = u64::MAX - 2;
+        if self.size == 1 {
+            return;
+        }
+        if self.rank == 0 {
+            for src in 1..self.size {
+                let part = self.recv(src, TAG_GATHER);
+                assert_eq!(part.len(), buf.len(), "allreduce length mismatch");
+                for (a, b) in buf.iter_mut().zip(&part) {
+                    *a += b;
+                }
+            }
+            for dst in 1..self.size {
+                self.send(dst, TAG_BCAST, buf);
+            }
+        } else {
+            self.send(0, TAG_GATHER, buf);
+            let total = self.recv(0, TAG_BCAST);
+            buf.copy_from_slice(&total);
+        }
+    }
+
+    /// Gathers every rank's `data` to rank 0; returns `Some(parts)` on rank
+    /// 0 (indexed by rank) and `None` elsewhere.
+    pub fn gather(&self, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        const TAG: u64 = u64::MAX - 3;
+        if self.rank == 0 {
+            let mut parts = vec![Vec::new(); self.size];
+            parts[0] = data.to_vec();
+            for src in 1..self.size {
+                parts[src] = self.recv(src, TAG);
+            }
+            Some(parts)
+        } else {
+            self.send(0, TAG, data);
+            None
+        }
+    }
+
+    /// Broadcasts rank 0's `data` to all ranks (in place).
+    pub fn broadcast(&self, data: &mut Vec<f64>) {
+        const TAG: u64 = u64::MAX - 4;
+        if self.rank == 0 {
+            for dst in 1..self.size {
+                self.send(dst, TAG, data);
+            }
+        } else {
+            *data = self.recv(0, TAG);
+        }
+    }
+}
+
+/// Runs `f` on `size` concurrent ranks and returns their results in rank
+/// order. Panics in any rank propagate.
+pub fn run_world<R, F>(size: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    assert!(size >= 1, "world needs at least one rank");
+    let mut txs = Vec::with_capacity(size);
+    let mut rxs = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (tx, rx) = unbounded::<Message>();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let barrier = Arc::new(Barrier::new(size));
+
+    let comms: Vec<Comm> = rxs
+        .into_iter()
+        .enumerate()
+        .map(|(rank, inbox)| Comm {
+            rank,
+            size,
+            senders: txs.clone(),
+            inbox,
+            barrier: Arc::clone(&barrier),
+            pending: RefCell::new(Vec::new()),
+        })
+        .collect();
+    drop(txs);
+
+    let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for comm in comms {
+            let fr = &f;
+            handles.push(scope.spawn(move || fr(&comm)));
+        }
+        for (slot, h) in results.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("rank panicked"));
+        }
+    });
+    results.into_iter().map(|r| r.expect("rank produced no result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_runs_all_ranks() {
+        let out = run_world(4, |c| c.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn ring_send_recv() {
+        let out = run_world(5, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 7, &[c.rank() as f64]);
+            let got = c.recv(prev, 7);
+            got[0] as usize
+        });
+        assert_eq!(out, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn allreduce_sums_everywhere() {
+        let out = run_world(6, |c| {
+            let mut buf = vec![c.rank() as f64, 1.0];
+            c.allreduce_sum(&mut buf);
+            buf
+        });
+        for r in &out {
+            assert_eq!(r, &vec![15.0, 6.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_single_rank_is_identity() {
+        let out = run_world(1, |c| {
+            let mut buf = vec![3.0, 4.0];
+            c.allreduce_sum(&mut buf);
+            buf
+        });
+        assert_eq!(out[0], vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = run_world(4, |c| c.gather(&[c.rank() as f64; 2]));
+        let parts = out[0].as_ref().unwrap();
+        for (r, p) in parts.iter().enumerate() {
+            assert_eq!(p, &vec![r as f64; 2]);
+        }
+        assert!(out[1].is_none() && out[2].is_none() && out[3].is_none());
+    }
+
+    #[test]
+    fn broadcast_distributes_root_data() {
+        let out = run_world(4, |c| {
+            let mut data = if c.rank() == 0 { vec![42.0, 7.0] } else { Vec::new() };
+            c.broadcast(&mut data);
+            data
+        });
+        for r in &out {
+            assert_eq!(r, &vec![42.0, 7.0]);
+        }
+    }
+
+    #[test]
+    fn out_of_order_tags_buffered() {
+        let out = run_world(2, |c| {
+            if c.rank() == 0 {
+                // Send tag 2 first, then tag 1.
+                c.send(1, 2, &[2.0]);
+                c.send(1, 1, &[1.0]);
+                0.0
+            } else {
+                // Receive tag 1 first: the tag-2 message must be buffered.
+                let a = c.recv(0, 1)[0];
+                let b = c.recv(0, 2)[0];
+                a * 10.0 + b
+            }
+        });
+        assert_eq!(out[1], 12.0);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_world(8, |c| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the barrier every rank must see all 8 increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_destination_panics() {
+        run_world(2, |c| {
+            if c.rank() == 0 {
+                c.send(5, 0, &[1.0]);
+            }
+        });
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the performance models and the simulated MPI.
+
+use hpc::mpi::run_world;
+use hpc::{
+    bus_bandwidth, collective_time, simulate_step, Collective, Strategy, Topology, TrainJob,
+};
+use proptest::prelude::*;
+
+const MB: u64 = 1024 * 1024;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Collective times are positive and monotone in message size.
+    #[test]
+    fn collective_time_monotone_in_size(
+        gcds_exp in 1u32..10,
+        mb in 1u64..512,
+    ) {
+        let gcds = 1usize << gcds_exp;
+        let topo = Topology::frontier(gcds);
+        for op in [Collective::AllReduce, Collective::AllGather, Collective::ReduceScatter] {
+            let t1 = collective_time(&topo, op, gcds, mb * MB);
+            let t2 = collective_time(&topo, op, gcds, 2 * mb * MB);
+            prop_assert!(t1 > 0.0 && t1.is_finite());
+            prop_assert!(t2 >= t1, "{op:?}: doubling size reduced time");
+        }
+    }
+
+    /// Bus bandwidth never exceeds the fastest physical link.
+    #[test]
+    fn busbw_bounded_by_hardware(
+        gcds_exp in 1u32..10,
+        mb in 1u64..2048,
+    ) {
+        let gcds = 1usize << gcds_exp;
+        let topo = Topology::frontier(gcds);
+        for op in [Collective::AllReduce, Collective::AllGather, Collective::ReduceScatter] {
+            let bw = bus_bandwidth(&topo, op, gcds, mb * MB);
+            prop_assert!(bw <= topo.paired_gcd_bw * 1.001, "{op:?} exceeded hardware: {bw:.3e}");
+        }
+    }
+
+    /// Memory accounting: sharding over more ranks never increases the
+    /// per-GCD footprint, and DDP is always the upper bound.
+    #[test]
+    fn memory_monotone_in_ranks(
+        params in 1_000_000u64..10_000_000_000,
+        ranks_exp in 0u32..11,
+    ) {
+        let ranks = 1usize << ranks_exp;
+        let ddp = Strategy::Ddp.memory_per_gcd(params, ranks, 8);
+        for s in [
+            Strategy::ZeroStage1,
+            Strategy::ZeroStage2,
+            Strategy::ZeroStage3,
+            Strategy::FsdpHybrid,
+        ] {
+            let m = s.memory_per_gcd(params, ranks, 8);
+            prop_assert!(m <= ddp + 1e-6, "{s:?} exceeded DDP");
+            if ranks > 1 {
+                let m2 = s.memory_per_gcd(params, 2 * ranks, 8);
+                prop_assert!(m2 <= m + 1e-6, "{s:?} grew with ranks");
+            }
+        }
+    }
+
+    /// Step simulation: totals are positive, fractions sum to 1, and
+    /// comm_exposed never exceeds comm_total.
+    #[test]
+    fn step_breakdown_consistent(
+        size_idx in 0usize..3,
+        gcds_exp in 3u32..10,
+        bucket_mb in 10u64..1000,
+    ) {
+        let size = [64usize, 128, 256][size_idx];
+        let gcds = 1usize << gcds_exp;
+        let topo = Topology::frontier(gcds);
+        let job = TrainJob::table2(size);
+        for s in [Strategy::Ddp, Strategy::ZeroStage1, Strategy::FsdpFullShard] {
+            let b = simulate_step(&topo, &job, s, gcds, bucket_mb * MB);
+            prop_assert!(b.total() > 0.0 && b.total().is_finite());
+            prop_assert!(b.comm_exposed <= b.comm_total + 1e-12);
+            let (c, m, i) = b.fractions();
+            prop_assert!((c + m + i - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Simulated MPI: allreduce equals the analytic sum for any world size
+    /// and payload.
+    #[test]
+    fn mpi_allreduce_correct(
+        size in 1usize..9,
+        payload in prop::collection::vec(-100.0f64..100.0, 1..32),
+    ) {
+        let len = payload.len();
+        let results = run_world(size, |comm| {
+            // Each rank contributes payload * (rank+1).
+            let mut buf: Vec<f64> =
+                payload.iter().map(|v| v * (comm.rank() + 1) as f64).collect();
+            comm.allreduce_sum(&mut buf);
+            buf
+        });
+        let factor: f64 = (1..=size).map(|r| r as f64).sum();
+        for r in &results {
+            prop_assert_eq!(r.len(), len);
+            for (got, want) in r.iter().zip(&payload) {
+                prop_assert!((got - want * factor).abs() < 1e-9 * (1.0 + want.abs() * factor));
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The stochastic (perturbed-observation) EnKF of Evensen — the original
+//! ensemble filter the paper's §I cites as the geosciences' workhorse, and
+//! the conceptual ancestor of the LETKF baseline.
+//!
+//! Implemented in the ensemble-observation-space form: with forecast
+//! anomalies `X' (d × m)` and observation-space anomalies `Y' = H X'`,
+//!
+//! ```text
+//! K = X' Y'ᵀ [ Y' Y'ᵀ + (m − 1) R ]⁻¹
+//! x_i ← x_i + K (y + ε_i − H x_i),   ε_i ~ N(0, R)
+//! ```
+//!
+//! The `p × p` solve limits this global form to moderate observation
+//! counts (thousands) — exactly the scaling wall that motivates the LETKF's
+//! embarrassingly parallel local decomposition, which this module exists to
+//! contrast with.
+
+use linalg::{Matrix, SymEig};
+use stats::gaussian::standard_normal;
+use stats::rng::{seeded, split_seed};
+use stats::Ensemble;
+
+/// Configuration of the stochastic EnKF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnkfConfig {
+    /// Observation error standard deviation (diagonal R).
+    pub obs_sigma: f64,
+    /// Multiplicative prior inflation (1.0 disables).
+    pub inflation: f64,
+    /// Seed for the observation perturbations.
+    pub seed: u64,
+}
+
+impl Default for EnkfConfig {
+    fn default() -> Self {
+        EnkfConfig { obs_sigma: 1.0, inflation: 1.0, seed: 0 }
+    }
+}
+
+/// The global stochastic EnKF with point observations.
+#[derive(Debug, Clone)]
+pub struct StochasticEnkf {
+    config: EnkfConfig,
+    cycle: u64,
+}
+
+impl StochasticEnkf {
+    /// Creates the filter.
+    ///
+    /// # Panics
+    /// Panics on non-positive `obs_sigma` or inflation < 1.
+    pub fn new(config: EnkfConfig) -> Self {
+        assert!(config.obs_sigma > 0.0, "obs_sigma must be positive");
+        assert!(config.inflation >= 1.0, "inflation must be >= 1");
+        StochasticEnkf { config, cycle: 0 }
+    }
+
+    /// One analysis: assimilates observations of the state components
+    /// listed in `obs_indices` with values `y` (same order).
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or out-of-range indices.
+    pub fn analyze(
+        &mut self,
+        forecast: &Ensemble,
+        obs_indices: &[usize],
+        y: &[f64],
+    ) -> Ensemble {
+        let m = forecast.members();
+        let d = forecast.dim();
+        let p = obs_indices.len();
+        assert_eq!(y.len(), p, "observation length mismatch");
+        assert!(m >= 2, "need at least two members");
+        assert!(obs_indices.iter().all(|&i| i < d), "obs index out of range");
+        let cycle_seed = split_seed(self.config.seed, self.cycle.wrapping_add(0xE6C));
+        self.cycle += 1;
+
+        let mut fc = forecast.clone();
+        if self.config.inflation > 1.0 {
+            fc.inflate(self.config.inflation);
+        }
+        if p == 0 {
+            return fc;
+        }
+
+        // Anomalies.
+        let mean = fc.mean();
+        // Y' (p × m): observation-space anomalies.
+        let mut yp = Matrix::zeros(p, m);
+        for (r, &idx) in obs_indices.iter().enumerate() {
+            for c in 0..m {
+                yp[(r, c)] = fc.member(c)[idx] - mean[idx];
+            }
+        }
+
+        // S = Y'Y'ᵀ + (m−1) R  (p × p, SPD).
+        let mut s = linalg::gemm::matmul_a_bt(&yp, &yp);
+        let r_scaled = (m - 1) as f64 * self.config.obs_sigma * self.config.obs_sigma;
+        s.add_diag(r_scaled);
+        let s_inv = SymEig::new(&s).inverse();
+
+        // Per-member innovations with perturbed observations.
+        let mut rng = seeded(cycle_seed);
+        // innovations (p × m): y + eps_i − H x_i.
+        let mut innov = Matrix::zeros(p, m);
+        for c in 0..m {
+            for (r, &idx) in obs_indices.iter().enumerate() {
+                let eps = self.config.obs_sigma * standard_normal(&mut rng);
+                innov[(r, c)] = y[r] + eps - fc.member(c)[idx];
+            }
+        }
+
+        // W = S⁻¹ · innov (p × m), then increments ΔX = X' Y'ᵀ W.
+        let w = linalg::gemm::matmul(&s_inv, &innov);
+        // Y'ᵀ W: (m × m).
+        let ytw = linalg::gemm::matmul_at_b(&yp, &w);
+
+        // ΔX = X' · ytw computed row-block-wise without materializing X'
+        // (d × m can be large): for each state variable i,
+        // Δx_i[c] = Σ_k x'_i[k] ytw[k][c].
+        let mut analysis = fc.clone();
+        for i in 0..d {
+            // x'_i over members.
+            let mut xi = vec![0.0; m];
+            for k in 0..m {
+                xi[k] = fc.member(k)[i] - mean[i];
+            }
+            for c in 0..m {
+                let mut delta = 0.0;
+                for k in 0..m {
+                    delta += xi[k] * ytw[(k, c)];
+                }
+                analysis.member_mut(c)[i] += delta;
+            }
+        }
+        analysis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats::rng::seeded as srng;
+
+    fn gaussian_ensemble(members: usize, dim: usize, mean: f64, sd: f64, seed: u64) -> Ensemble {
+        let mut rng = srng(seed);
+        let mut e = Ensemble::zeros(members, dim);
+        for m in 0..members {
+            for x in e.member_mut(m) {
+                *x = mean + sd * standard_normal(&mut rng);
+            }
+        }
+        e
+    }
+
+    /// Scalar case: the EnKF analysis mean and variance converge to the
+    /// Kalman-filter values as the ensemble grows.
+    #[test]
+    fn matches_scalar_kalman_in_the_large_ensemble_limit() {
+        let members = 4000;
+        let fc = gaussian_ensemble(members, 1, 0.0, 1.0, 1);
+        let mean_b = fc.mean()[0];
+        let var_b = fc.variance()[0];
+        let sigma: f64 = 0.5;
+        let y = 2.0;
+        let gain = var_b / (var_b + sigma * sigma);
+        let mean_kf = mean_b + gain * (y - mean_b);
+        let var_kf = (1.0 - gain) * var_b;
+
+        let mut enkf = StochasticEnkf::new(EnkfConfig {
+            obs_sigma: sigma,
+            inflation: 1.0,
+            seed: 7,
+        });
+        let an = enkf.analyze(&fc, &[0], &[y]);
+        assert!((an.mean()[0] - mean_kf).abs() < 0.05, "{} vs {mean_kf}", an.mean()[0]);
+        assert!((an.variance()[0] - var_kf).abs() < 0.05, "{} vs {var_kf}", an.variance()[0]);
+    }
+
+    #[test]
+    fn no_observations_is_forecast_plus_inflation() {
+        let fc = gaussian_ensemble(8, 4, 1.0, 0.5, 2);
+        let mut plain =
+            StochasticEnkf::new(EnkfConfig { obs_sigma: 1.0, inflation: 1.0, seed: 1 });
+        let an = plain.analyze(&fc, &[], &[]);
+        assert_eq!(an.as_slice(), fc.as_slice());
+
+        let mut inflated =
+            StochasticEnkf::new(EnkfConfig { obs_sigma: 1.0, inflation: 1.5, seed: 1 });
+        let an2 = inflated.analyze(&fc, &[], &[]);
+        assert!((an2.spread() - 1.5 * fc.spread()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_observations_update_correlated_unobserved_state() {
+        // Two perfectly correlated components; observing one must update
+        // the other through the sample covariance.
+        let mut e = Ensemble::zeros(40, 2);
+        let mut rng = srng(5);
+        for m in 0..40 {
+            let v = standard_normal(&mut rng);
+            e.member_mut(m)[0] = v;
+            e.member_mut(m)[1] = v; // identical => correlation 1
+        }
+        let mut enkf =
+            StochasticEnkf::new(EnkfConfig { obs_sigma: 0.1, inflation: 1.0, seed: 3 });
+        let an = enkf.analyze(&e, &[0], &[2.0]);
+        // Both components move toward 2.
+        assert!(an.mean()[0] > 1.0, "{}", an.mean()[0]);
+        assert!(an.mean()[1] > 1.0, "observed info must propagate: {}", an.mean()[1]);
+        assert!((an.mean()[0] - an.mean()[1]).abs() < 0.2);
+    }
+
+    #[test]
+    fn analysis_reduces_error_with_dense_obs() {
+        // Members must span the error subspace for the (unlocalized) EnKF
+        // to correct it, so use members > dim — the rank deficiency of
+        // small ensembles in high dimensions is exactly what motivates the
+        // LETKF's localization.
+        let dim = 16;
+        let members = 40;
+        let mut rng = srng(11);
+        let truth: Vec<f64> = (0..dim).map(|_| standard_normal(&mut rng)).collect();
+        let fc = gaussian_ensemble(members, dim, 0.0, 1.0, 4);
+        let sigma = 0.2;
+        let idx: Vec<usize> = (0..dim).collect();
+        let y: Vec<f64> =
+            truth.iter().map(|t| t + sigma * standard_normal(&mut rng)).collect();
+        let mut enkf =
+            StochasticEnkf::new(EnkfConfig { obs_sigma: sigma, inflation: 1.0, seed: 9 });
+        let an = enkf.analyze(&fc, &idx, &y);
+        let before = stats::metrics::rmse(&fc.mean(), &truth);
+        let after = stats::metrics::rmse(&an.mean(), &truth);
+        assert!(after < 0.5 * before, "EnKF must reduce error: {before} -> {after}");
+    }
+
+    #[test]
+    fn rank_deficiency_limits_small_ensembles() {
+        // The flip side: 10 members in 64 dimensions can only correct a
+        // small fraction of the error — the scaling wall that motivates
+        // localization (documented behavior, not a bug).
+        let dim = 64;
+        let mut rng = srng(13);
+        let truth: Vec<f64> = (0..dim).map(|_| standard_normal(&mut rng)).collect();
+        let fc = gaussian_ensemble(10, dim, 0.0, 1.0, 5);
+        let idx: Vec<usize> = (0..dim).collect();
+        let y: Vec<f64> = truth.clone();
+        let mut enkf =
+            StochasticEnkf::new(EnkfConfig { obs_sigma: 0.1, inflation: 1.0, seed: 9 });
+        let an = enkf.analyze(&fc, &idx, &y);
+        let before = stats::metrics::rmse(&fc.mean(), &truth);
+        let after = stats::metrics::rmse(&an.mean(), &truth);
+        assert!(after < before, "some reduction within the span");
+        assert!(
+            after > 0.5 * before,
+            "but rank deficiency must leave most error: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn stochastic_updates_differ_across_cycles() {
+        let fc = gaussian_ensemble(10, 4, 0.0, 1.0, 6);
+        let mut enkf =
+            StochasticEnkf::new(EnkfConfig { obs_sigma: 0.5, inflation: 1.0, seed: 2 });
+        let a = enkf.analyze(&fc, &[0, 1, 2, 3], &[0.5; 4]);
+        let b = enkf.analyze(&fc, &[0, 1, 2, 3], &[0.5; 4]);
+        assert_ne!(a.as_slice(), b.as_slice(), "perturbed obs must be re-drawn");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let fc = gaussian_ensemble(10, 4, 0.0, 1.0, 6);
+        let run = || {
+            let mut f =
+                StochasticEnkf::new(EnkfConfig { obs_sigma: 0.5, inflation: 1.0, seed: 2 });
+            f.analyze(&fc, &[0, 1], &[0.3, 0.4])
+        };
+        assert_eq!(run().as_slice(), run().as_slice());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_obs_index_panics() {
+        let fc = gaussian_ensemble(4, 3, 0.0, 1.0, 1);
+        let mut f = StochasticEnkf::new(EnkfConfig::default());
+        let _ = f.analyze(&fc, &[5], &[1.0]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Matrix multiplication kernels.
+//!
+//! The hot path is a cache-blocked i-k-j loop nest with the `k`-panel of `B`
+//! kept hot in L1/L2; rows of `C` are parallelized with rayon above a size
+//! threshold. The same kernel family backs the ViT crate's f32 tensors (it
+//! has its own copy specialized to f32); here everything is f64 for the DA
+//! math.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Minimum `rows * cols * inner` product before the parallel path engages.
+const PAR_FLOPS_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Cache block edge for the k dimension.
+const KC: usize = 256;
+/// Cache block edge for the j dimension.
+const JC: usize = 128;
+
+/// `C = A * B`.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "matmul: inner dimensions differ ({k} vs {kb})");
+    let mut c = Matrix::zeros(m, n);
+    matmul_into(a, b, &mut c);
+    c
+}
+
+/// `C = A * B` writing into a preallocated `c` (overwritten, not accumulated).
+pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "matmul_into: inner dimensions differ");
+    assert_eq!(c.shape(), (m, n), "matmul_into: output shape mismatch");
+    c.as_mut_slice().fill(0.0);
+
+    let a_buf = a.as_slice();
+    let b_buf = b.as_slice();
+
+    let kernel = |row_idx: usize, c_row: &mut [f64]| {
+        let a_row = &a_buf[row_idx * k..(row_idx + 1) * k];
+        // Blocked over (k, j): each (kk, jj) panel of B is streamed once per
+        // row while the accumulators stay in the C row.
+        for kk in (0..k).step_by(KC) {
+            let k_end = (kk + KC).min(k);
+            for jj in (0..n).step_by(JC) {
+                let j_end = (jj + JC).min(n);
+                for p in kk..k_end {
+                    let aval = a_row[p];
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_buf[p * n..p * n + n];
+                    for j in jj..j_end {
+                        c_row[j] += aval * b_row[j];
+                    }
+                }
+            }
+        }
+    };
+
+    if m * n * k >= PAR_FLOPS_THRESHOLD {
+        c.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| kernel(i, row));
+    } else {
+        for (i, row) in c.as_mut_slice().chunks_mut(n).enumerate() {
+            kernel(i, row);
+        }
+    }
+}
+
+/// `A^T * B` without materializing the transpose.
+pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "matmul_at_b: row counts differ");
+    let mut c = Matrix::zeros(m, n);
+    let a_buf = a.as_slice();
+    let b_buf = b.as_slice();
+    // c[i, j] = sum_p a[p, i] * b[p, j]: stream both by rows of p.
+    for p in 0..k {
+        let a_row = &a_buf[p * m..(p + 1) * m];
+        let b_row = &b_buf[p * n..(p + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c.as_mut_slice()[i * n..(i + 1) * n];
+            for (cj, &bv) in c_row.iter_mut().zip(b_row) {
+                *cj += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `A * B^T` without materializing the transpose.
+pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(k, kb, "matmul_a_bt: inner dimensions differ");
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            c[(i, j)] = crate::vector::dot(a.row(i), b.row(j));
+        }
+    }
+    c
+}
+
+/// Matrix-vector product `A * x`.
+pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    let (m, k) = a.shape();
+    assert_eq!(k, x.len(), "matvec: dimension mismatch");
+    (0..m).map(|i| crate::vector::dot(a.row(i), x)).collect()
+}
+
+/// Transposed matrix-vector product `A^T * x`.
+pub fn matvec_t(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    let (m, n) = a.shape();
+    assert_eq!(m, x.len(), "matvec_t: dimension mismatch");
+    let mut y = vec![0.0; n];
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        crate::vector::axpy(xi, a.row(i), &mut y);
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        Matrix::from_fn(m, n, |i, j| (0..k).map(|p| a[(i, p)] * b[(p, j)]).sum())
+    }
+
+    fn test_matrix(rows: usize, cols: usize, seed: f64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| ((r * cols + c) as f64 * seed).sin())
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = test_matrix(3, 4, 0.7);
+        let b = test_matrix(4, 5, 1.3);
+        let got = matmul(&a, &b);
+        let want = naive_matmul(&a, &b);
+        assert!(got.sub(&want).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_matches_naive_blocked_sizes() {
+        // Cross the KC/JC block boundaries and the parallel threshold.
+        let a = test_matrix(70, 300, 0.19);
+        let b = test_matrix(300, 150, 0.41);
+        let got = matmul(&a, &b);
+        let want = naive_matmul(&a, &b);
+        assert!(got.sub(&want).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = test_matrix(6, 6, 0.23);
+        let i = Matrix::identity(6);
+        assert!(matmul(&a, &i).sub(&a).norm_max() < 1e-14);
+        assert!(matmul(&i, &a).sub(&a).norm_max() < 1e-14);
+    }
+
+    #[test]
+    fn at_b_and_a_bt_match_explicit_transposes() {
+        let a = test_matrix(7, 4, 0.31);
+        let b = test_matrix(7, 5, 0.57);
+        let got = matmul_at_b(&a, &b);
+        let want = matmul(&a.transpose(), &b);
+        assert!(got.sub(&want).norm_max() < 1e-12);
+
+        let c = test_matrix(6, 7, 0.11);
+        let d = test_matrix(5, 7, 0.77);
+        let got2 = matmul_a_bt(&c, &d);
+        let want2 = matmul(&c, &d.transpose());
+        assert!(got2.sub(&want2).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_consistency() {
+        let a = test_matrix(5, 8, 0.91);
+        let x: Vec<f64> = (0..8).map(|i| i as f64 - 3.0).collect();
+        let y = matvec(&a, &x);
+        let via_matmul = matmul(&a, &Matrix::from_vec(8, 1, x.clone()));
+        for i in 0..5 {
+            assert!((y[i] - via_matmul[(i, 0)]).abs() < 1e-12);
+        }
+        let z = matvec_t(&a, &y);
+        let want = matvec(&a.transpose(), &y);
+        for i in 0..8 {
+            assert!((z[i] - want[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn associativity_within_tolerance() {
+        let a = test_matrix(4, 6, 0.3);
+        let b = test_matrix(6, 5, 0.5);
+        let c = test_matrix(5, 3, 0.9);
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        assert!(left.sub(&right).norm_max() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = matmul(&a, &b);
+    }
+}

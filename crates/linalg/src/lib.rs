@@ -1,0 +1,40 @@
+//! # linalg — dense linear-algebra substrate
+//!
+//! Small, dependency-free (rayon only) dense `f64` kernels sized for the
+//! data-assimilation workloads in this workspace:
+//!
+//! - [`Matrix`] — row-major dense matrix with the layout as a public contract.
+//! - [`gemm`] — blocked, rayon-parallel matrix products and matrix-vector
+//!   kernels (plus transpose-free `AᵀB` / `ABᵀ` variants the LETKF uses).
+//! - [`Cholesky`] — SPD factorization for covariance sampling and solves.
+//! - [`Lu`] — general solver / determinant / inverse with partial pivoting.
+//! - [`SymEig`] — cyclic Jacobi symmetric eigendecomposition; the workhorse
+//!   of the LETKF ensemble-space transform, including `f(A)` evaluation
+//!   (`A⁻¹`, `A^{-1/2}`).
+//! - [`vector`] — slice-level dot/axpy/norm helpers.
+//!
+//! ```
+//! use linalg::{Matrix, gemm};
+//! let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+//! let x = gemm::matvec(&a, &[1.0, 1.0]);
+//! assert_eq!(x, vec![3.0, 7.0]);
+//! ```
+
+#![warn(missing_docs)]
+// Numeric kernels here read/write several arrays at matched indices;
+// explicit index loops are the clearer idiom (dense kernels index multiple parallel arrays).
+#![allow(clippy::needless_range_loop)]
+
+mod cholesky;
+mod eigh;
+pub mod gemm;
+mod lu;
+mod matrix;
+pub mod vector;
+
+pub use cholesky::{
+    back_substitute_transposed, forward_substitute, Cholesky, NotPositiveDefinite,
+};
+pub use eigh::SymEig;
+pub use lu::{Lu, Singular};
+pub use matrix::Matrix;

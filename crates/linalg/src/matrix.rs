@@ -1,0 +1,340 @@
+//! Row-major dense `f64` matrix.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix of `f64`.
+///
+/// Sized for the LETKF regime: ensemble transforms of order
+/// `m x m` (m ≈ 20–100) and observation blocks of a few thousand rows. The
+/// layout guarantee (`data[r * cols + c]`) is part of the public contract —
+/// the GEMM kernels and the ViT crate rely on it.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of shape `rows x cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from a slice of rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Builds an `n x n` diagonal matrix from `diag`.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Populates a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True when either dimension is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy of column `c`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// `self + other` elementwise.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "add: shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// `self - other` elementwise.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "sub: shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scales every entry in place.
+    pub fn scale_mut(&mut self, a: f64) {
+        for v in &mut self.data {
+            *v *= a;
+        }
+    }
+
+    /// Scaled copy `a * self`.
+    pub fn scaled(&self, a: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale_mut(a);
+        out
+    }
+
+    /// Adds `a` to each diagonal entry (square not required; uses
+    /// `min(rows, cols)` entries).
+    pub fn add_diag(&mut self, a: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += a;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry (0 for empty).
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Maximum absolute off-diagonal entry (square matrices; 0 if n < 2).
+    pub fn max_offdiag(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "max_offdiag requires a square matrix");
+        let mut m = 0.0f64;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if r != c {
+                    m = m.max(self[(r, c)].abs());
+                }
+            }
+        }
+        m
+    }
+
+    /// Symmetry defect `max |A - A^T|` (square matrices).
+    pub fn symmetry_error(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "symmetry_error requires a square matrix");
+        let mut m = 0.0f64;
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                m = m.max((self[(r, c)] - self[(c, r)]).abs());
+            }
+        }
+        m
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline(always)]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline(always)]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for r in 0..show_rows {
+            write!(f, "  [")?;
+            let show_cols = self.cols.min(8);
+            for c in 0..show_cols {
+                write!(f, "{:>10.4}", self[(r, c)])?;
+                if c + 1 < show_cols {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+
+        let d = Matrix::from_diag(&[1.0, 2.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(1, 0)], 0.0);
+
+        let f = Matrix::from_fn(2, 2, |r, c| (r * 10 + c) as f64);
+        assert_eq!(f[(1, 1)], 11.0);
+    }
+
+    #[test]
+    fn rows_and_cols_access() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(2), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(4, 2)], m[(2, 4)]);
+    }
+
+    #[test]
+    fn elementwise_and_norms() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::identity(2);
+        assert_eq!(a.add(&b)[(0, 0)], 2.0);
+        assert_eq!(a.sub(&b)[(1, 1)], 3.0);
+        assert!((a.norm_frobenius() - (30.0f64).sqrt()).abs() < 1e-15);
+        assert_eq!(a.norm_max(), 4.0);
+    }
+
+    #[test]
+    fn diag_and_symmetry_helpers() {
+        let mut a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert_eq!(a.symmetry_error(), 0.0);
+        assert_eq!(a.max_offdiag(), 2.0);
+        a.add_diag(5.0);
+        assert_eq!(a[(0, 0)], 6.0);
+        a[(0, 1)] = 9.0;
+        assert_eq!(a.symmetry_error(), 7.0);
+    }
+
+    #[test]
+    fn from_rows_checks_raggedness() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![2.0, 3.0]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_shape_mismatch_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Binary (de)serialization of SQG states and trajectories.
+//!
+//! A compact self-describing format (magic, version, grid size, per-snapshot
+//! f64 grids) so nature runs and analysis trajectories can be written to
+//! disk once and replayed by later experiments — the reproducibility
+//! workflow an operational OSSE needs.
+
+use crate::state::SqgState;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u32 = 0x5351_4731; // "SQG1"
+const VERSION: u32 = 1;
+
+/// A sequence of SQG states at a fixed cadence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    /// Grid points per side.
+    pub n: usize,
+    /// Hours between snapshots.
+    pub interval_hours: f64,
+    /// Flat state vectors (`2 n²` each), in time order.
+    pub snapshots: Vec<Vec<f64>>,
+}
+
+impl Trajectory {
+    /// Empty trajectory for an `n x n` grid.
+    pub fn new(n: usize, interval_hours: f64) -> Self {
+        assert!(n > 0 && interval_hours > 0.0);
+        Trajectory { n, interval_hours, snapshots: Vec::new() }
+    }
+
+    /// Appends a snapshot (as a flat state vector).
+    ///
+    /// # Panics
+    /// Panics if the vector length does not match the grid.
+    pub fn push(&mut self, state: &[f64]) {
+        assert_eq!(state.len(), 2 * self.n * self.n, "snapshot length mismatch");
+        self.snapshots.push(state.to_vec());
+    }
+
+    /// Appends a spectral state.
+    pub fn push_state(&mut self, state: &SqgState) {
+        assert_eq!(state.n(), self.n, "grid mismatch");
+        self.snapshots.push(state.to_state_vector());
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True when no snapshots are stored.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Simulated hours covered (0 for < 2 snapshots).
+    pub fn duration_hours(&self) -> f64 {
+        self.interval_hours * self.snapshots.len().saturating_sub(1) as f64
+    }
+
+    /// Serializes to a byte buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let dim = 2 * self.n * self.n;
+        let mut buf = BytesMut::with_capacity(32 + self.snapshots.len() * dim * 8);
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(self.n as u64);
+        buf.put_f64_le(self.interval_hours);
+        buf.put_u64_le(self.snapshots.len() as u64);
+        for snap in &self.snapshots {
+            for &v in snap {
+                buf.put_f64_le(v);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes from a byte buffer.
+    pub fn from_bytes(bytes: &Bytes) -> Result<Self, TrajectoryError> {
+        let mut buf = bytes.clone();
+        if buf.remaining() < 32 {
+            return Err(TrajectoryError::Truncated);
+        }
+        if buf.get_u32_le() != MAGIC {
+            return Err(TrajectoryError::BadMagic);
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(TrajectoryError::BadVersion(version));
+        }
+        let n = buf.get_u64_le() as usize;
+        let interval_hours = buf.get_f64_le();
+        let count = buf.get_u64_le() as usize;
+        // `!(x > 0.0)` deliberately rejects NaN intervals too.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if n == 0 || !(interval_hours > 0.0) {
+            return Err(TrajectoryError::BadHeader);
+        }
+        let dim = 2 * n * n;
+        if buf.remaining() < count.saturating_mul(dim) * 8 {
+            return Err(TrajectoryError::Truncated);
+        }
+        let mut snapshots = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut snap = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                snap.push(buf.get_f64_le());
+            }
+            snapshots.push(snap);
+        }
+        Ok(Trajectory { n, interval_hours, snapshots })
+    }
+
+    /// Writes the trajectory to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a trajectory from a file.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let data = std::fs::read(path)?;
+        Self::from_bytes(&Bytes::from(data)).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+        })
+    }
+}
+
+/// Deserialization errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrajectoryError {
+    /// Buffer shorter than its framing promises.
+    Truncated,
+    /// Wrong magic number.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u32),
+    /// Nonsensical header fields.
+    BadHeader,
+}
+
+impl std::fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrajectoryError::Truncated => write!(f, "trajectory buffer truncated"),
+            TrajectoryError::BadMagic => write!(f, "not an SQG trajectory"),
+            TrajectoryError::BadVersion(v) => write!(f, "unsupported trajectory version {v}"),
+            TrajectoryError::BadHeader => write!(f, "invalid trajectory header"),
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::random_large_scale;
+
+    fn sample_trajectory() -> Trajectory {
+        let mut t = Trajectory::new(8, 12.0);
+        for seed in 0..3 {
+            t.push_state(&random_large_scale(8, 0.05, seed));
+        }
+        t
+    }
+
+    #[test]
+    fn round_trip_bytes() {
+        let t = sample_trajectory();
+        let blob = t.to_bytes();
+        let back = Trajectory::from_bytes(&blob).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.duration_hours(), 24.0);
+    }
+
+    #[test]
+    fn round_trip_file() {
+        let t = sample_trajectory();
+        let dir = std::env::temp_dir();
+        let path = dir.join("sqg_da_traj_test.bin");
+        t.save(&path).unwrap();
+        let back = Trajectory::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn corrupted_magic_rejected() {
+        let t = sample_trajectory();
+        let mut raw = BytesMut::from(&t.to_bytes()[..]);
+        raw[0] ^= 0xFF;
+        assert_eq!(Trajectory::from_bytes(&raw.freeze()), Err(TrajectoryError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let t = sample_trajectory();
+        let blob = t.to_bytes();
+        let cut = blob.slice(0..blob.len() - 17);
+        assert_eq!(Trajectory::from_bytes(&cut), Err(TrajectoryError::Truncated));
+        let tiny = blob.slice(0..8);
+        assert_eq!(Trajectory::from_bytes(&tiny), Err(TrajectoryError::Truncated));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let t = sample_trajectory();
+        let mut raw = BytesMut::from(&t.to_bytes()[..]);
+        raw[4] = 99;
+        assert_eq!(
+            Trajectory::from_bytes(&raw.freeze()),
+            Err(TrajectoryError::BadVersion(99))
+        );
+    }
+
+    #[test]
+    fn empty_trajectory_round_trips() {
+        let t = Trajectory::new(4, 6.0);
+        let back = Trajectory::from_bytes(&t.to_bytes()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.duration_hours(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_snapshot_length_panics() {
+        let mut t = Trajectory::new(8, 12.0);
+        t.push(&[0.0; 10]);
+    }
+}

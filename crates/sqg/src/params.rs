@@ -1,0 +1,194 @@
+//! Physical and numerical parameters of the SQG model.
+
+/// Parameters of the two-level nonlinear Eady / SQG system.
+///
+/// Defaults follow the configuration used by the paper's reference
+/// implementation (`jswhit/sqgturb`) for the 64×64×2 DA experiments:
+/// doubly periodic 20 000 km domain, 10 km depth, 30 m/s shear, f-plane with
+/// uniform stratification, 8th-order hyperdiffusion treated implicitly and a
+/// 2/3 dealiasing rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqgParams {
+    /// Grid points per side (the state is `2 * n * n` values).
+    pub n: usize,
+    /// Domain side length [m].
+    pub domain: f64,
+    /// Boundary separation (depth) [m].
+    pub depth: f64,
+    /// Coriolis parameter f [1/s].
+    pub coriolis: f64,
+    /// Buoyancy frequency squared N² [1/s²].
+    pub nsq: f64,
+    /// Total shear across the depth: u(top) − u(bottom) [m/s].
+    /// With `symmetric_jet`, background winds are ±shear/2.
+    pub shear: f64,
+    /// If true the background flow is ±U/2 at the two boundaries; if false
+    /// it is 0 at the bottom and U at the top.
+    pub symmetric_jet: bool,
+    /// Ekman damping coefficient r [1/s]; 0 disables surface friction.
+    pub ekman: f64,
+    /// Model time step [s].
+    pub dt: f64,
+    /// Hyperdiffusion e-folding time at the smallest resolved scale [s].
+    pub diff_efold: f64,
+    /// Hyperdiffusion order (exponent on ∇²; 8 means ∇⁸).
+    pub diff_order: u32,
+    /// Apply the 2/3 dealiasing rule to nonlinear products.
+    pub dealias: bool,
+    /// Thermal ("diabatic") relaxation timescale toward a reference state
+    /// [s]; 0 disables. With a zonal-jet reference this maintains the
+    /// baroclinic zone against the turbulent heat flux, as in `sqgturb`'s
+    /// jet configuration.
+    pub tdiab: f64,
+}
+
+impl Default for SqgParams {
+    fn default() -> Self {
+        SqgParams {
+            n: 64,
+            domain: 20.0e6,
+            depth: 10.0e3,
+            coriolis: 1.0e-4,
+            nsq: 1.0e-4,
+            shear: 30.0,
+            symmetric_jet: true,
+            ekman: 0.0,
+            dt: 900.0,
+            diff_efold: 5400.0,
+            diff_order: 8,
+            dealias: true,
+            tdiab: 0.0,
+        }
+    }
+}
+
+impl SqgParams {
+    /// Buoyancy frequency N [1/s].
+    pub fn buoyancy_freq(&self) -> f64 {
+        self.nsq.sqrt()
+    }
+
+    /// Rossby radius of deformation `N H / f` [m]. For the defaults this is
+    /// 1000 km — the scale coupling horizontal and vertical dynamics, and
+    /// the scale the paper uses to couple LETKF localization extents.
+    pub fn rossby_radius(&self) -> f64 {
+        self.buoyancy_freq() * self.depth / self.coriolis
+    }
+
+    /// Background zonal wind at the two boundaries `[bottom, top]` [m/s].
+    pub fn background_wind(&self) -> [f64; 2] {
+        if self.symmetric_jet {
+            [-0.5 * self.shear, 0.5 * self.shear]
+        } else {
+            [0.0, self.shear]
+        }
+    }
+
+    /// Mean meridional buoyancy gradient `∂b̄/∂y = −f Λ` shared by both
+    /// boundaries (thermal wind balance), with Λ = shear / depth [1/s²·s].
+    pub fn mean_buoyancy_gradient(&self) -> f64 {
+        -self.coriolis * self.shear / self.depth
+    }
+
+    /// Number of state variables (`2 n²`).
+    pub fn state_dim(&self) -> usize {
+        2 * self.n * self.n
+    }
+
+    /// Grid spacing [m].
+    pub fn dx(&self) -> f64 {
+        self.domain / self.n as f64
+    }
+
+    /// Validates parameter consistency, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n < 4 {
+            return Err(format!("grid too small: n = {}", self.n));
+        }
+        if self.domain <= 0.0 || self.depth <= 0.0 {
+            return Err("domain and depth must be positive".into());
+        }
+        if self.coriolis == 0.0 {
+            return Err("coriolis parameter must be nonzero".into());
+        }
+        if self.nsq <= 0.0 {
+            return Err("stratification N^2 must be positive".into());
+        }
+        if self.dt <= 0.0 {
+            return Err("time step must be positive".into());
+        }
+        if self.tdiab < 0.0 {
+            return Err("tdiab must be nonnegative (0 disables)".into());
+        }
+        if !self.diff_order.is_multiple_of(2) {
+            return Err(format!("hyperdiffusion order must be even, got {}", self.diff_order));
+        }
+        if self.diff_efold <= 0.0 {
+            return Err("diff_efold must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(SqgParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rossby_radius_default_is_1000km() {
+        let p = SqgParams::default();
+        assert!((p.rossby_radius() - 1.0e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn background_wind_conventions() {
+        let mut p = SqgParams::default();
+        assert_eq!(p.background_wind(), [-15.0, 15.0]);
+        p.symmetric_jet = false;
+        assert_eq!(p.background_wind(), [0.0, 30.0]);
+    }
+
+    #[test]
+    fn thermal_wind_gradient_sign() {
+        let p = SqgParams::default();
+        // Positive shear => negative (poleward-decreasing) buoyancy gradient.
+        assert!(p.mean_buoyancy_gradient() < 0.0);
+        assert!((p.mean_buoyancy_gradient() + 1.0e-4 * 30.0 / 1.0e4).abs() < 1e-18);
+    }
+
+    #[test]
+    fn state_dim_and_dx() {
+        let p = SqgParams::default();
+        assert_eq!(p.state_dim(), 8192);
+        assert!((p.dx() - 312_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tdiab_validation() {
+        let ok = SqgParams { tdiab: 864000.0, ..Default::default() };
+        assert!(ok.validate().is_ok());
+        let bad = SqgParams { tdiab: -1.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut p = SqgParams { n: 2, ..Default::default() };
+        assert!(p.validate().is_err());
+        p.n = 64;
+        p.diff_order = 7;
+        assert!(p.validate().is_err());
+        p.diff_order = 8;
+        p.dt = -1.0;
+        assert!(p.validate().is_err());
+        p.dt = 900.0;
+        p.nsq = 0.0;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! Ensemble containers and statistics.
+//!
+//! An [`Ensemble`] is `M` state vectors of equal dimension `d`, stored
+//! contiguously (member-major) so that per-member forecast loops and
+//! per-variable statistics both stride predictably.
+
+/// A collection of `M` equally sized state vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ensemble {
+    dim: usize,
+    data: Vec<f64>, // member-major: member m occupies data[m*dim..(m+1)*dim]
+}
+
+impl Ensemble {
+    /// Creates an ensemble of `members` zero vectors of dimension `dim`.
+    pub fn zeros(members: usize, dim: usize) -> Self {
+        Ensemble { dim, data: vec![0.0; members * dim] }
+    }
+
+    /// Builds an ensemble from member vectors.
+    ///
+    /// # Panics
+    /// Panics if members have inconsistent dimensions or the list is empty.
+    pub fn from_members(members: &[Vec<f64>]) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        let dim = members[0].len();
+        let mut data = Vec::with_capacity(members.len() * dim);
+        for m in members {
+            assert_eq!(m.len(), dim, "ragged ensemble members");
+            data.extend_from_slice(m);
+        }
+        Ensemble { dim, data }
+    }
+
+    /// Number of members `M`.
+    pub fn members(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// State dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow of member `m`.
+    pub fn member(&self, m: usize) -> &[f64] {
+        &self.data[m * self.dim..(m + 1) * self.dim]
+    }
+
+    /// Mutable borrow of member `m`.
+    pub fn member_mut(&mut self, m: usize) -> &mut [f64] {
+        &mut self.data[m * self.dim..(m + 1) * self.dim]
+    }
+
+    /// Iterator over members.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks(self.dim)
+    }
+
+    /// Mutable iterator over members (for parallel forecast loops, pair with
+    /// `par_chunks_mut` on [`Ensemble::as_mut_slice`]).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut [f64]> {
+        self.data.chunks_mut(self.dim)
+    }
+
+    /// The raw member-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Ensemble mean vector.
+    pub fn mean(&self) -> Vec<f64> {
+        let m = self.members();
+        let mut out = vec![0.0; self.dim];
+        for member in self.iter() {
+            for (o, x) in out.iter_mut().zip(member) {
+                *o += x;
+            }
+        }
+        let inv = 1.0 / m as f64;
+        for o in &mut out {
+            *o *= inv;
+        }
+        out
+    }
+
+    /// Per-variable ensemble variance (unbiased, divides by `M - 1`).
+    pub fn variance(&self) -> Vec<f64> {
+        let m = self.members();
+        assert!(m >= 2, "variance needs at least two members");
+        let mean = self.mean();
+        let mut var = vec![0.0; self.dim];
+        for member in self.iter() {
+            for ((v, x), mu) in var.iter_mut().zip(member).zip(&mean) {
+                let d = x - mu;
+                *v += d * d;
+            }
+        }
+        let inv = 1.0 / (m - 1) as f64;
+        for v in &mut var {
+            *v *= inv;
+        }
+        var
+    }
+
+    /// Scalar ensemble spread: sqrt of the mean of the per-variable variances.
+    /// This is the quantity RTPS inflation relaxes.
+    pub fn spread(&self) -> f64 {
+        let var = self.variance();
+        (var.iter().sum::<f64>() / self.dim as f64).sqrt()
+    }
+
+    /// Anomalies (deviations from the mean), same layout as the ensemble.
+    pub fn anomalies(&self) -> Ensemble {
+        let mean = self.mean();
+        let mut out = self.clone();
+        for member in out.iter_mut() {
+            for (x, mu) in member.iter_mut().zip(&mean) {
+                *x -= mu;
+            }
+        }
+        out
+    }
+
+    /// Recentres the ensemble on `new_mean` keeping the anomalies.
+    pub fn recenter(&mut self, new_mean: &[f64]) {
+        assert_eq!(new_mean.len(), self.dim);
+        let old = self.mean();
+        for member in self.iter_mut() {
+            for ((x, om), nm) in member.iter_mut().zip(&old).zip(new_mean) {
+                *x += nm - om;
+            }
+        }
+    }
+
+    /// Scales all anomalies by `factor` about the current mean
+    /// (multiplicative covariance inflation).
+    pub fn inflate(&mut self, factor: f64) {
+        let mean = self.mean();
+        for member in self.iter_mut() {
+            for (x, mu) in member.iter_mut().zip(&mean) {
+                *x = mu + factor * (*x - mu);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Ensemble {
+        Ensemble::from_members(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+        ])
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let e = small();
+        assert_eq!(e.members(), 3);
+        assert_eq!(e.dim(), 2);
+        assert_eq!(e.member(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let e = small();
+        assert_eq!(e.mean(), vec![3.0, 4.0]);
+        // variance per variable: ((1-3)^2 + 0 + (5-3)^2)/2 = 4
+        assert_eq!(e.variance(), vec![4.0, 4.0]);
+        assert!((e.spread() - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn anomalies_sum_to_zero() {
+        let e = small();
+        let a = e.anomalies();
+        let s = a.mean();
+        assert!(s.iter().all(|v| v.abs() < 1e-14));
+    }
+
+    #[test]
+    fn recenter_preserves_spread() {
+        let mut e = small();
+        let sp = e.spread();
+        e.recenter(&[10.0, -10.0]);
+        assert_eq!(e.mean(), vec![10.0, -10.0]);
+        assert!((e.spread() - sp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inflate_scales_spread() {
+        let mut e = small();
+        let sp = e.spread();
+        e.inflate(1.5);
+        assert!((e.spread() - 1.5 * sp).abs() < 1e-12);
+        // mean unchanged
+        assert_eq!(e.mean(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn inflate_by_one_is_identity() {
+        let mut e = small();
+        let before = e.clone();
+        e.inflate(1.0);
+        for (a, b) in e.iter().zip(before.iter()) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_ensemble_rejected() {
+        let _ = Ensemble::from_members(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_members_rejected() {
+        let _ = Ensemble::from_members(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # stats — stochastic & statistical substrate
+//!
+//! Shared statistical machinery for the DA framework:
+//!
+//! - [`rng`] — explicit seeding and per-member stream splitting, so whole
+//!   OSSE experiments are bit-reproducible even under rayon parallelism.
+//! - [`gaussian`] — Box–Muller standard normals and Cholesky-colored
+//!   multivariate sampling (no external distribution crates).
+//! - [`Ensemble`] — member-major ensemble container with mean/variance/
+//!   spread/anomaly/inflation operations used by both filters.
+//! - [`metrics`] — RMSE/bias/MAE/pattern-correlation/CRPS verification.
+//! - [`spectrum`] — isotropic KE spectra and inertial-range slope fitting
+//!   (the `k^{-5/3}` check).
+//! - [`OnlineMoments`] — mergeable Welford accumulators for long series.
+
+#![warn(missing_docs)]
+// Spectral binning indexes shells and wavevectors at matched positions.
+#![allow(clippy::needless_range_loop)]
+
+mod ensemble;
+pub mod gaussian;
+pub mod metrics;
+mod moments;
+pub mod rng;
+pub mod spectrum;
+
+pub use ensemble::Ensemble;
+pub use moments::OnlineMoments;

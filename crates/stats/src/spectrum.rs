@@ -1,0 +1,139 @@
+//! Isotropic kinetic-energy spectra.
+//!
+//! The SQG model's claim to realism is its `k^{-5/3}` KE spectrum
+//! (Nastrom & Gage); these helpers bin a 2-D spectral field into isotropic
+//! wavenumber shells and fit the inertial-range slope so tests can assert it.
+
+use fft::Complex;
+
+/// Isotropic power spectrum of a 2-D complex spectral field.
+///
+/// `spec` is the unnormalized forward FFT of an `n x n` real field; the
+/// result has `n/2` shells, shell `k` collecting `|spec|^2 / n^4` over all
+/// integer wavevectors with `round(|k_vec|) == k`.
+pub fn isotropic_spectrum(spec: &[Complex], n: usize) -> Vec<f64> {
+    assert_eq!(spec.len(), n * n, "spectrum buffer must be n*n");
+    let half = n / 2;
+    let mut shells = vec![0.0f64; half.max(1)];
+    let norm = 1.0 / (n as f64).powi(4);
+    for ky_idx in 0..n {
+        // Map FFT index to signed wavenumber.
+        let ky = signed_wavenumber(ky_idx, n);
+        for kx_idx in 0..n {
+            let kx = signed_wavenumber(kx_idx, n);
+            let kmag = ((kx * kx + ky * ky) as f64).sqrt();
+            let shell = kmag.round() as usize;
+            if shell < shells.len() {
+                shells[shell] += spec[ky_idx * n + kx_idx].norm_sqr() * norm;
+            }
+        }
+    }
+    shells
+}
+
+/// Maps an FFT bin index to its signed integer wavenumber.
+#[inline]
+pub fn signed_wavenumber(idx: usize, n: usize) -> i64 {
+    if idx <= n / 2 {
+        idx as i64
+    } else {
+        idx as i64 - n as i64
+    }
+}
+
+/// Least-squares slope of `log(E)` vs `log(k)` over shells
+/// `k in [k_min, k_max]`, skipping empty shells. Returns `None` when fewer
+/// than two usable shells exist.
+pub fn fit_loglog_slope(shells: &[f64], k_min: usize, k_max: usize) -> Option<f64> {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for k in k_min..=k_max.min(shells.len().saturating_sub(1)) {
+        if k == 0 || shells[k] <= 0.0 {
+            continue;
+        }
+        xs.push((k as f64).ln());
+        ys.push(shells[k].ln());
+    }
+    if xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        num += (x - mx) * (y - my);
+        den += (x - mx) * (x - mx);
+    }
+    if den == 0.0 {
+        None
+    } else {
+        Some(num / den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fft::rfft2;
+
+    #[test]
+    fn signed_wavenumber_mapping() {
+        assert_eq!(signed_wavenumber(0, 8), 0);
+        assert_eq!(signed_wavenumber(3, 8), 3);
+        assert_eq!(signed_wavenumber(4, 8), 4);
+        assert_eq!(signed_wavenumber(5, 8), -3);
+        assert_eq!(signed_wavenumber(7, 8), -1);
+    }
+
+    #[test]
+    fn single_mode_lands_in_correct_shell() {
+        let n = 32;
+        let k0 = 5usize;
+        let field: Vec<f64> = (0..n * n)
+            .map(|i| {
+                let x = (i % n) as f64;
+                (2.0 * std::f64::consts::PI * k0 as f64 * x / n as f64).cos()
+            })
+            .collect();
+        let spec = rfft2(&field, n, n);
+        let shells = isotropic_spectrum(&spec, n);
+        let total: f64 = shells.iter().sum();
+        assert!(shells[k0] / total > 0.999, "energy not in shell {k0}: {shells:?}");
+    }
+
+    #[test]
+    fn parseval_shells_sum_to_variance() {
+        // For a zero-mean field, sum of shells ~= spatial mean square
+        // (up to energy falling outside the n/2 shell cap).
+        let n = 64;
+        let field: Vec<f64> = (0..n * n)
+            .map(|i| {
+                let x = (i % n) as f64;
+                let y = (i / n) as f64;
+                (2.0 * std::f64::consts::PI * 3.0 * x / n as f64).sin()
+                    + 0.5 * (2.0 * std::f64::consts::PI * 7.0 * y / n as f64).cos()
+            })
+            .collect();
+        let msq: f64 = field.iter().map(|v| v * v).sum::<f64>() / (n * n) as f64;
+        let spec = rfft2(&field, n, n);
+        let total: f64 = isotropic_spectrum(&spec, n).iter().sum();
+        assert!((total - msq).abs() < 1e-10, "{total} vs {msq}");
+    }
+
+    #[test]
+    fn slope_fit_recovers_synthetic_power_law() {
+        // Build shells E(k) = k^{-5/3} directly.
+        let shells: Vec<f64> =
+            (0..64).map(|k| if k == 0 { 0.0 } else { (k as f64).powf(-5.0 / 3.0) }).collect();
+        let slope = fit_loglog_slope(&shells, 4, 32).unwrap();
+        assert!((slope + 5.0 / 3.0).abs() < 1e-10, "slope {slope}");
+    }
+
+    #[test]
+    fn slope_fit_needs_two_points() {
+        let shells = vec![0.0, 1.0, 0.0, 0.0];
+        assert!(fit_loglog_slope(&shells, 1, 3).is_none());
+    }
+}

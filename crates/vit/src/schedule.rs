@@ -1,0 +1,166 @@
+//! Learning-rate schedules for the surrogate trainers.
+//!
+//! Large-scale ViT training (the paper's §III-B) conventionally uses linear
+//! warmup followed by cosine decay; online fine-tuning uses a constant
+//! (small) rate. The schedule is a pure function of the step index so
+//! trainers stay reproducible.
+
+/// A learning-rate schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Linear warmup from 0 to `peak` over `warmup_steps`, then cosine decay
+    /// to `floor` at `total_steps`. Past `total_steps` the rate stays at
+    /// `floor`.
+    WarmupCosine {
+        /// Peak learning rate reached at the end of warmup.
+        peak: f32,
+        /// Terminal learning rate.
+        floor: f32,
+        /// Warmup length in steps.
+        warmup_steps: u64,
+        /// Total schedule length in steps.
+        total_steps: u64,
+    },
+    /// Step decay: `base * gamma^(step / every)`.
+    StepDecay {
+        /// Initial rate.
+        base: f32,
+        /// Multiplicative decay factor per stage.
+        gamma: f32,
+        /// Steps per stage.
+        every: u64,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at (0-indexed) optimizer step `step`.
+    pub fn at(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::WarmupCosine { peak, floor, warmup_steps, total_steps } => {
+                if warmup_steps > 0 && step < warmup_steps {
+                    return peak * (step + 1) as f32 / warmup_steps as f32;
+                }
+                if step >= total_steps {
+                    return floor;
+                }
+                let span = (total_steps - warmup_steps).max(1) as f32;
+                let progress = (step - warmup_steps) as f32 / span;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                floor + (peak - floor) * cos
+            }
+            LrSchedule::StepDecay { base, gamma, every } => {
+                base * gamma.powi((step / every.max(1)) as i32)
+            }
+        }
+    }
+
+    /// Validates schedule parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            LrSchedule::Constant { lr } => {
+                if lr <= 0.0 {
+                    return Err("constant lr must be positive".into());
+                }
+            }
+            LrSchedule::WarmupCosine { peak, floor, warmup_steps, total_steps } => {
+                if peak <= 0.0 || floor < 0.0 || floor > peak {
+                    return Err("need 0 <= floor <= peak, peak > 0".into());
+                }
+                if warmup_steps > total_steps {
+                    return Err("warmup cannot exceed total steps".into());
+                }
+            }
+            LrSchedule::StepDecay { base, gamma, every } => {
+                if base <= 0.0 || !(0.0..=1.0).contains(&gamma) || every == 0 {
+                    return Err("need base > 0, gamma in [0,1], every > 0".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.01 };
+        assert_eq!(s.at(0), 0.01);
+        assert_eq!(s.at(1_000_000), 0.01);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::WarmupCosine {
+            peak: 1.0,
+            floor: 0.0,
+            warmup_steps: 10,
+            total_steps: 110,
+        };
+        assert!((s.at(0) - 0.1).abs() < 1e-6);
+        assert!((s.at(4) - 0.5).abs() < 1e-6);
+        assert!((s.at(9) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_decays_to_floor() {
+        let s = LrSchedule::WarmupCosine {
+            peak: 1.0,
+            floor: 0.1,
+            warmup_steps: 0,
+            total_steps: 100,
+        };
+        assert!((s.at(0) - 1.0).abs() < 1e-5);
+        // Midpoint: halfway between peak and floor.
+        assert!((s.at(50) - 0.55).abs() < 0.02);
+        assert!((s.at(100) - 0.1).abs() < 1e-6);
+        assert_eq!(s.at(10_000), 0.1);
+        // Monotone decreasing after warmup.
+        let mut prev = s.at(0);
+        for step in 1..=100 {
+            let v = s.at(step);
+            assert!(v <= prev + 1e-6);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn step_decay_stages() {
+        let s = LrSchedule::StepDecay { base: 1.0, gamma: 0.5, every: 10 };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(9), 1.0);
+        assert_eq!(s.at(10), 0.5);
+        assert_eq!(s.at(25), 0.25);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(LrSchedule::Constant { lr: 0.0 }.validate().is_err());
+        assert!(LrSchedule::WarmupCosine {
+            peak: 1.0,
+            floor: 2.0,
+            warmup_steps: 0,
+            total_steps: 10
+        }
+        .validate()
+        .is_err());
+        assert!(LrSchedule::WarmupCosine {
+            peak: 1.0,
+            floor: 0.0,
+            warmup_steps: 20,
+            total_steps: 10
+        }
+        .validate()
+        .is_err());
+        assert!(LrSchedule::StepDecay { base: 1.0, gamma: 1.5, every: 10 }.validate().is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Weight (de)serialization.
+//!
+//! A small self-describing binary format (magic, version, per-tensor
+//! length-prefixed f32 payloads in visit order) built on `bytes`. Used to
+//! hand a pre-trained surrogate from the offline trainer to the OSSE
+//! experiments.
+
+use crate::model::SqgVit;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u32 = 0x5351_5654; // "SQVT"
+const VERSION: u32 = 1;
+
+/// Serializes all model parameters (visit order) into a byte buffer.
+pub fn save_weights(model: &mut SqgVit) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    let mut tensors: Vec<Vec<f32>> = Vec::new();
+    model.visit_params(&mut |p| tensors.push(p.value.clone()));
+    buf.put_u32_le(tensors.len() as u32);
+    for t in &tensors {
+        buf.put_u32_le(t.len() as u32);
+        for &v in t {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Errors from [`load_weights`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// Buffer too short or corrupted framing.
+    Truncated,
+    /// Wrong magic number.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Tensor count or a tensor length differs from the model architecture.
+    ShapeMismatch {
+        /// Index of the offending tensor (or count mismatch at `usize::MAX`).
+        tensor: usize,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Truncated => write!(f, "weight buffer truncated"),
+            LoadError::BadMagic => write!(f, "not a SQG-ViT weight buffer"),
+            LoadError::BadVersion(v) => write!(f, "unsupported weight version {v}"),
+            LoadError::ShapeMismatch { tensor } => {
+                write!(f, "weight shape mismatch at tensor {tensor}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Loads weights saved by [`save_weights`] into a model of the *same
+/// architecture*.
+pub fn load_weights(model: &mut SqgVit, bytes: &Bytes) -> Result<(), LoadError> {
+    let mut buf = bytes.clone();
+    if buf.remaining() < 12 {
+        return Err(LoadError::Truncated);
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(LoadError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(LoadError::BadVersion(version));
+    }
+    let count = buf.get_u32_le() as usize;
+
+    // First pass: read everything (validating framing).
+    let mut tensors: Vec<Vec<f32>> = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 4 {
+            return Err(LoadError::Truncated);
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < 4 * len {
+            return Err(LoadError::Truncated);
+        }
+        let mut t = Vec::with_capacity(len);
+        for _ in 0..len {
+            t.push(buf.get_f32_le());
+        }
+        tensors.push(t);
+    }
+
+    // Validate shapes against the model before mutating anything.
+    let mut shapes: Vec<usize> = Vec::new();
+    model.visit_params(&mut |p| shapes.push(p.value.len()));
+    if shapes.len() != tensors.len() {
+        return Err(LoadError::ShapeMismatch { tensor: usize::MAX });
+    }
+    for (i, (s, t)) in shapes.iter().zip(&tensors).enumerate() {
+        if *s != t.len() {
+            return Err(LoadError::ShapeMismatch { tensor: i });
+        }
+    }
+
+    let mut it = tensors.into_iter();
+    model.visit_params(&mut |p| {
+        p.value = it.next().expect("validated above");
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VitConfig;
+
+    fn tiny() -> SqgVit {
+        SqgVit::new(
+            VitConfig {
+                input_size: 8,
+                patch_size: 4,
+                in_chans: 2,
+                depth: 1,
+                heads: 2,
+                embed_dim: 16,
+                mlp_ratio: 2,
+                dropout: 0.0,
+                drop_path: 0.0,
+            },
+            42,
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let mut a = tiny();
+        let img: Vec<f32> = (0..128).map(|i| (i as f32 * 0.3).sin()).collect();
+        let before = a.predict(&img);
+        let blob = save_weights(&mut a);
+        let mut b = SqgVit::new(a.config().clone(), 7); // different init
+        assert_ne!(b.predict(&img), before);
+        load_weights(&mut b, &blob).unwrap();
+        assert_eq!(b.predict(&img), before);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut m = tiny();
+        let mut blob = BytesMut::from(&save_weights(&mut m)[..]);
+        blob[0] ^= 0xFF;
+        assert_eq!(load_weights(&mut m, &blob.freeze()), Err(LoadError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected_without_partial_load() {
+        let mut m = tiny();
+        let img: Vec<f32> = (0..128).map(|i| (i as f32 * 0.2).cos()).collect();
+        let blob = save_weights(&mut m);
+        let before = m.predict(&img);
+        let cut = blob.slice(0..blob.len() / 2);
+        assert_eq!(load_weights(&mut m, &cut), Err(LoadError::Truncated));
+        // Model unchanged on failure.
+        assert_eq!(m.predict(&img), before);
+    }
+
+    #[test]
+    fn wrong_architecture_rejected() {
+        let mut a = tiny();
+        let blob = save_weights(&mut a);
+        let mut bigger = SqgVit::new(
+            VitConfig { embed_dim: 32, ..a.config().clone() },
+            1,
+        );
+        assert!(matches!(
+            load_weights(&mut bigger, &blob),
+            Err(LoadError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn version_checked() {
+        let mut m = tiny();
+        let blob = save_weights(&mut m);
+        let mut raw = BytesMut::from(&blob[..]);
+        raw[4] = 99; // version field
+        assert_eq!(load_weights(&mut m, &raw.freeze()), Err(LoadError::BadVersion(99)));
+    }
+}

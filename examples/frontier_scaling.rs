@@ -1,0 +1,96 @@
+//! Frontier-scale what-if studies with the performance simulator.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example frontier_scaling
+//! ```
+//!
+//! Uses the `hpc` crate's calibrated models to answer the capacity-planning
+//! questions the paper's §IV-B addresses: which distribution strategy fits
+//! and performs best for each ViT size, and how the EnSF scales to
+//! operational state dimensions.
+
+use sqg_da::hpc::{
+    ensf_step_time, scaling_curve, simulate_step, EnsfJob, Strategy, Topology, TrainJob,
+};
+
+const MB: u64 = 1024 * 1024;
+const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+fn main() {
+    // --- Memory: which strategies fit each Table II model on 64 GB HBM? ---
+    println!("== per-GCD memory at 1024 GCDs (64 GB HBM each) ==");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>10}",
+        "model", "DDP", "ZeRO-1", "ZeRO-2", "full-shard"
+    );
+    for size in [64usize, 128, 256] {
+        let job = TrainJob::table2(size);
+        let row: Vec<String> = [
+            Strategy::Ddp,
+            Strategy::ZeroStage1,
+            Strategy::ZeroStage2,
+            Strategy::FsdpFullShard,
+        ]
+        .iter()
+        .map(|s| {
+            let gb = s.memory_per_gcd(job.params, 1024, 8) / GB;
+            if gb > 64.0 {
+                format!("{gb:>7.1}G !!")
+            } else {
+                format!("{gb:>7.1}G   ")
+            }
+        })
+        .collect();
+        println!("{:<18} {}", format!("{size}^2 ({}M)", job.params / 1_000_000), row.join(" "));
+    }
+
+    // --- Strong scaling: pick the best strategy per size. ---
+    println!("\n== strong scaling to 1024 GCDs (efficiency vs 8-GCD baseline) ==");
+    let gcds = [8usize, 64, 256, 1024];
+    for (size, strategy, bucket) in [
+        (64usize, Strategy::Ddp, 120 * MB),
+        (128, Strategy::Ddp, 120 * MB),
+        (256, Strategy::ZeroStage1, 500 * MB),
+    ] {
+        let job = TrainJob::table2(size);
+        let curve = scaling_curve(Topology::frontier, &job, strategy, &gcds, bucket);
+        print!("{size:>4}^2 [{strategy:?}]:");
+        for (g, _tp, eff) in &curve {
+            print!("  {g:>4} GCDs {:>5.1}%", eff * 100.0);
+        }
+        println!();
+    }
+
+    // --- Step breakdown at 1024 GCDs (Fig. 7 style). ---
+    println!("\n== runtime breakdown at 1024 GCDs ==");
+    for (size, strategy) in [
+        (64usize, Strategy::Ddp),
+        (128, Strategy::Ddp),
+        (256, Strategy::ZeroStage1),
+    ] {
+        let job = TrainJob::table2(size);
+        let topo = Topology::frontier(1024);
+        let b = simulate_step(&topo, &job, strategy, 1024, 120 * MB);
+        let (c, m, i) = b.fractions();
+        println!(
+            "{size:>4}^2: step {:.3}s = compute {:.1}% + comm {:.1}% + io {:.1}%",
+            b.total(),
+            c * 100.0,
+            m * 100.0,
+            i * 100.0
+        );
+    }
+
+    // --- EnSF at operational dimensions (Fig. 10 style). ---
+    println!("\n== EnSF weak scaling (20 members/rank, 50 SDE steps) ==");
+    for dim in [1_000_000u64, 10_000_000, 100_000_000] {
+        let job = EnsfJob { dim, members_per_rank: 20, sde_steps: 50 };
+        print!("dim 1e{}:", (dim as f64).log10() as u32);
+        for g in [8usize, 64, 512, 1024] {
+            let t = ensf_step_time(&Topology::frontier(g), &job, g);
+            print!("  {g:>4} ranks {t:>7.2}s");
+        }
+        println!();
+    }
+}
