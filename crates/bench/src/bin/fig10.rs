@@ -5,6 +5,7 @@
 //! so the time per analysis step should stay flat as ranks grow and scale
 //! linearly in the state dimension.
 
+use bench::Json;
 use ensf::parallel::{analyze_partitioned, RankPlan};
 use ensf::{EnsfConfig, IdentityObs};
 use hpc::{ensf_step_time, EnsfJob, Topology};
@@ -24,12 +25,18 @@ fn main() {
         print!(" {:>9}", r);
     }
     println!();
+    let mut modeled = Vec::new();
     for dim in [1_000_000u64, 10_000_000, 100_000_000] {
         let job = EnsfJob { dim, members_per_rank: 20, sde_steps: 50 };
         print!("{:>10.0e}", dim as f64);
         for &r in &ranks {
             let t = ensf_step_time(&Topology::frontier(r), &job, r);
             print!(" {:>8.2}s", t);
+            modeled.push(Json::obj(vec![
+                ("dim", Json::from(dim)),
+                ("ranks", Json::from(r)),
+                ("step_secs", Json::Num(t)),
+            ]));
         }
         println!();
     }
@@ -57,6 +64,7 @@ fn main() {
     }
     println!("{:>8} {:>14} {:>10}", "ranks", "time/step", "speedup");
     let mut t1 = 0.0f64;
+    let mut measured = Vec::new();
     for ranks in [1usize, 2, 4, 8] {
         let plan = RankPlan::new(members, ranks);
         let _ = analyze_partitioned(&config, 0, &plan, &fc, &y, &obs); // warm-up
@@ -70,7 +78,21 @@ fn main() {
             t1 = dt;
         }
         println!("{:>8} {:>13.3}s {:>9.2}x", ranks, dt, t1 / dt);
+        measured.push(Json::obj(vec![
+            ("ranks", Json::from(ranks)),
+            ("step_secs", Json::Num(dt)),
+            ("speedup", Json::Num(t1 / dt)),
+        ]));
     }
     println!("\nper-rank blocks are independent (bitwise identical to the serial");
     println!("filter), so fixed per-rank work => flat time/step at any scale.");
+
+    bench::emit_json(
+        "fig10",
+        "EnSF weak scaling (ensemble-parallel)",
+        Json::obj(vec![
+            ("modeled", Json::Arr(modeled)),
+            ("measured", Json::Arr(measured)),
+        ]),
+    );
 }

@@ -1,6 +1,7 @@
 //! Fig. 3: computational budget (Eq. 18) — total training FLOPs and
 //! Frontier node-hours for the three ViT sizes on 1M images, 100 epochs.
 
+use bench::Json;
 use hpc::{achieved_flops, KernelShape};
 use vit::{flops, VitConfig};
 
@@ -14,6 +15,7 @@ fn main() {
         "{:>7} {:>10} {:>12} {:>14} {:>16}",
         "input", "params", "FLOPs", "TF/GCD (ach.)", "node-hours"
     );
+    let mut rows = Vec::new();
     for size in [64usize, 128, 256] {
         let c = VitConfig::table2(size);
         let total = flops::training_flops(&c, images, epochs);
@@ -30,7 +32,24 @@ fn main() {
             achieved_flops(shape) / 1e12,
             hours
         );
+        rows.push(Json::obj(vec![
+            ("input", Json::from(size)),
+            ("params", Json::from(c.param_count())),
+            ("flops", Json::Num(total)),
+            ("tflops_per_gcd", Json::Num(achieved_flops(shape) / 1e12)),
+            ("node_hours", Json::Num(hours)),
+        ]));
     }
     println!("\nshape check: FLOPs grow ~x8 per size step (tokens x4 at fixed patch,");
     println!("params x8/x2), node-hours track FLOPs over the achieved rate.");
+
+    bench::emit_json(
+        "fig3",
+        "FLOPs and Frontier node-hours to train the ViT surrogates",
+        Json::obj(vec![
+            ("images", Json::from(images)),
+            ("epochs", Json::from(epochs)),
+            ("rows", Json::Arr(rows)),
+        ]),
+    );
 }

@@ -5,6 +5,7 @@
 //! on a laptop; the SQG + filters then run at the paper's exact setup).
 //! Pass `--cycles N` to override the cycle count.
 
+use bench::Json;
 use da_core::experiments::{pretrain_surrogate, run_comparison, ComparisonConfig};
 use da_core::osse::OsseConfig;
 use sqg::SqgParams;
@@ -81,4 +82,27 @@ fn main() {
     }
     println!("\npaper shape: free runs (SQG-only, ViT-only) saturate near climatology;");
     println!("LETKF degrades under model error; ViT+EnSF stays lowest and stable.");
+
+    let series = cmp
+        .series
+        .iter()
+        .map(|s| {
+            Json::obj(vec![
+                ("label", Json::from(s.label.as_str())),
+                ("steady_rmse", Json::Num(s.steady_rmse())),
+                ("hours", Json::Arr(s.hours.iter().map(|&h| Json::Num(h)).collect())),
+                ("rmse", Json::Arr(s.rmse.iter().map(|&r| Json::Num(r)).collect())),
+                ("spread", Json::Arr(s.spread.iter().map(|&v| Json::Num(v)).collect())),
+            ])
+        })
+        .collect();
+    bench::emit_json(
+        "fig4",
+        "RMSE of SQG-only / ViT-only / SQG+LETKF / ViT+EnSF (imperfect model)",
+        Json::obj(vec![
+            ("cycles", Json::from(cycles)),
+            ("climatology_sd", Json::Num(cmp.nature.climatology_sd)),
+            ("series", Json::Arr(series)),
+        ]),
+    );
 }

@@ -1,6 +1,7 @@
 //! Fig. 6: computation-performance heatmap (TFLOPS) for the ViT
 //! architecture search on a Frontier GCD.
 
+use bench::Json;
 use hpc::fig6_heatmap;
 
 fn main() {
@@ -42,4 +43,25 @@ fn main() {
     );
     println!("paper heuristics reproduced: peak at embed 2048; more heads hurt;");
     println!("more MLP weight helps.");
+
+    let cells = full
+        .iter()
+        .map(|(shape, tf)| {
+            Json::obj(vec![
+                ("embed_dim", Json::from(shape.embed_dim)),
+                ("heads", Json::from(shape.heads)),
+                ("mlp_ratio", Json::from(shape.mlp_ratio)),
+                ("tflops", Json::Num(*tf)),
+            ])
+        })
+        .collect();
+    bench::emit_json(
+        "fig6",
+        "TFLOPS heatmap over (embed dim x heads x MLP ratio)",
+        Json::obj(vec![
+            ("min_tflops", Json::Num(min)),
+            ("max_tflops", Json::Num(max)),
+            ("cells", Json::Arr(cells)),
+        ]),
+    );
 }

@@ -1,6 +1,7 @@
 //! Fig. 7: runtime percentage of computation, communication and IO when
 //! training the three ViT sizes on 1024 GCDs.
 
+use bench::Json;
 use hpc::{simulate_step, Strategy, Topology, TrainJob};
 
 const MB: u64 = 1024 * 1024;
@@ -13,6 +14,7 @@ fn main() {
         "{:>7} {:>16} {:>9} {:>22} {:>22} {:>16}",
         "input", "strategy", "step [s]", "compute", "comm (exposed)", "io"
     );
+    let mut rows = Vec::new();
     for size in [64usize, 128, 256] {
         let job = TrainJob::table2(size);
         // 64²/128² fit DDP; the 2.5B model is run sharded (as in Fig. 9).
@@ -31,9 +33,23 @@ fn main() {
             i * 100.0,
             bench::bar(i, 8),
         );
+        rows.push(Json::obj(vec![
+            ("input", Json::from(size)),
+            ("strategy", Json::from(format!("{strategy:?}"))),
+            ("step_secs", Json::Num(b.total())),
+            ("compute_frac", Json::Num(c)),
+            ("comm_frac", Json::Num(m)),
+            ("io_frac", Json::Num(i)),
+        ]));
     }
 
     println!("\npaper shape: compute + communication dominate; IO small;");
     println!("64² is more communication-bound than 128² (low-intensity kernels,");
     println!("small messages); 256² (sharded, 2x message volume) exceeds 128² too.");
+
+    bench::emit_json(
+        "fig7",
+        "runtime breakdown at 1024 GCDs (compute / comm / IO)",
+        Json::obj(vec![("gcds", Json::from(1024u64)), ("rows", Json::Arr(rows))]),
+    );
 }

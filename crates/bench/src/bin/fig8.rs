@@ -1,6 +1,7 @@
 //! Fig. 8: RCCL collective bus bandwidth on Frontier — AllReduce,
 //! AllGather and ReduceScatter vs message size and GCD count.
 
+use bench::Json;
 use hpc::{bus_bandwidth, Collective, Topology};
 
 const MB: u64 = 1024 * 1024;
@@ -20,6 +21,7 @@ fn main() {
     ];
     let gcd_counts = [8usize, 64, 256, 1024];
 
+    let mut points = Vec::new();
     for op in [Collective::AllReduce, Collective::AllGather, Collective::ReduceScatter] {
         println!("\n{op:?}:");
         print!("{:>10}", "msg\\GCDs");
@@ -33,6 +35,12 @@ fn main() {
                 let topo = Topology::frontier(g);
                 let bw = bus_bandwidth(&topo, op, g, s) / 1e9;
                 print!(" {:>9.1}", bw);
+                points.push(Json::obj(vec![
+                    ("op", Json::from(format!("{op:?}"))),
+                    ("bytes", Json::from(s)),
+                    ("gcds", Json::from(g)),
+                    ("gbps", Json::Num(bw)),
+                ]));
             }
             println!();
         }
@@ -48,4 +56,10 @@ fn main() {
     );
     println!("paper shape: bandwidth rises with message size; AllReduce wins at");
     println!("64 MiB at scale; a protocol-switch dip appears near 256 MiB; AG ~= RS.");
+
+    bench::emit_json(
+        "fig8",
+        "RCCL collective bus bandwidth [GB/s]",
+        Json::obj(vec![("points", Json::Arr(points))]),
+    );
 }

@@ -2,6 +2,7 @@
 //! strategies (FSDP ↔ ZeRO correspondence), plus the quantitative memory
 //! and communication footprints behind the taxonomy.
 
+use bench::Json;
 use hpc::Strategy;
 
 fn main() {
@@ -30,6 +31,7 @@ fn main() {
 
     println!("\nper-GCD memory [GiB] vs strategy (1.2B params):");
     println!("{:<18} {:>8} {:>8} {:>8}", "strategy", "8 ranks", "64", "1024");
+    let mut memory = Vec::new();
     for s in [
         Strategy::Ddp,
         Strategy::ZeroStage1,
@@ -42,11 +44,39 @@ fn main() {
             .map(|&n| format!("{:>8.2}", s.memory_per_gcd(p, n, 8) / (1u64 << 30) as f64))
             .collect();
         println!("{:<18} {}", format!("{s:?}"), row.join(""));
+        let cols = [8usize, 64, 1024]
+            .iter()
+            .map(|&n| {
+                Json::obj(vec![
+                    ("ranks", Json::from(n)),
+                    ("gib_per_gcd", Json::Num(s.memory_per_gcd(p, n, 8) / (1u64 << 30) as f64)),
+                ])
+            })
+            .collect();
+        memory.push(Json::obj(vec![
+            ("strategy", Json::from(format!("{s:?}"))),
+            ("memory", Json::Arr(cols)),
+        ]));
     }
 
     println!("\ncommunication volume per step (relative to DDP):");
     let ddp = Strategy::Ddp.comm_volume(p) as f64;
+    let mut comm = Vec::new();
     for s in [Strategy::Ddp, Strategy::ZeroStage1, Strategy::FsdpShardGradOp, Strategy::FsdpFullShard] {
         println!("  {s:?}: {:.2}x", s.comm_volume(p) as f64 / ddp);
+        comm.push(Json::obj(vec![
+            ("strategy", Json::from(format!("{s:?}"))),
+            ("relative_to_ddp", Json::Num(s.comm_volume(p) as f64 / ddp)),
+        ]));
     }
+
+    bench::emit_json(
+        "table1",
+        "distributed training memory-partition strategies",
+        Json::obj(vec![
+            ("params", Json::from(p)),
+            ("memory_per_gcd", Json::Arr(memory)),
+            ("comm_volume", Json::Arr(comm)),
+        ]),
+    );
 }

@@ -1,6 +1,7 @@
 //! Table II: the three ViT surrogate architectures, with exact parameter
 //! counts from the implementation's bookkeeping.
 
+use bench::Json;
 use vit::VitConfig;
 
 fn main() {
@@ -9,6 +10,7 @@ fn main() {
         "{:>7} {:>6} {:>8} {:>7} {:>11} {:>10} {:>10}",
         "input", "patch", "#layers", "#heads", "#embed dim", "#mlp ratio", "#params"
     );
+    let mut rows = Vec::new();
     for size in [64usize, 128, 256] {
         let c = VitConfig::table2(size);
         let params = c.param_count();
@@ -21,7 +23,22 @@ fn main() {
             "{:>6}² {:>6} {:>8} {:>7} {:>11} {:>10} {:>10}",
             size, c.patch_size, c.depth, c.heads, c.embed_dim, c.mlp_ratio, human
         );
+        rows.push(Json::obj(vec![
+            ("input", Json::from(size)),
+            ("patch", Json::from(c.patch_size)),
+            ("depth", Json::from(c.depth)),
+            ("heads", Json::from(c.heads)),
+            ("embed_dim", Json::from(c.embed_dim)),
+            ("mlp_ratio", Json::from(c.mlp_ratio)),
+            ("params", Json::from(params)),
+        ]));
     }
     println!("\npaper values: 157M / 1.2B / 2.5B (agreement within 5% — see");
     println!("EXPERIMENTS.md for the head/embedding bookkeeping differences).");
+
+    bench::emit_json(
+        "table2",
+        "architecture of the ViT surrogate models",
+        Json::obj(vec![("rows", Json::Arr(rows))]),
+    );
 }

@@ -2,8 +2,49 @@
 
 #![warn(missing_docs)]
 
+pub use telemetry::Json;
+
+/// Parses `--json <path>` from the process arguments, if present.
+///
+/// Every figure/table binary accepts this flag: alongside the human
+/// console report it writes a machine-readable JSON document (results
+/// plus a full telemetry snapshot) to the given path.
+pub fn json_output_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Writes the structured report for a figure/table binary when `--json`
+/// was passed, bundling the caption, the binary's own `results` payload
+/// and a snapshot of all telemetry collected during the run.
+///
+/// # Panics
+/// Panics if the file cannot be written (benches want loud failures).
+pub fn emit_json(id: &str, caption: &str, results: Json) {
+    let Some(path) = json_output_path() else { return };
+    let payload = Json::obj(vec![
+        ("id", Json::from(id)),
+        ("caption", Json::from(caption)),
+        ("results", results),
+        ("telemetry", telemetry::report::snapshot_json()),
+    ]);
+    telemetry::report::write_json(std::path::Path::new(&path), &payload)
+        .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+    println!("json report written to {path}");
+}
+
 /// Prints a section header in the common report style.
+///
+/// Every binary calls this before doing work, so it doubles as the
+/// initialization point: when a `--json` report was requested, telemetry
+/// collection is switched on here so the final snapshot has content.
 pub fn header(id: &str, caption: &str) {
+    if json_output_path().is_some() {
+        telemetry::set_enabled(true);
+    }
     println!("================================================================");
     println!("{id}: {caption}");
     println!("================================================================");

@@ -161,10 +161,15 @@ pub fn run_experiment(
     let mut prev_mean = ensemble.mean();
 
     for cycle in 0..config.cycles {
+        let _cycle_span = telemetry::span!("osse.cycle");
         // Forecast every member to the next observation time.
+        let t_fc = telemetry::enabled().then(std::time::Instant::now);
         model.forecast_ensemble(&mut ensemble, config.obs_interval_hours);
+        let forecast_secs = t_fc.map(|t| t.elapsed().as_secs_f64());
         // Analysis.
+        let t_an = telemetry::enabled().then(std::time::Instant::now);
         let analysis = scheme.analyze(&ensemble, &nature.observations[cycle]);
+        let analysis_secs = t_an.map(|t| t.elapsed().as_secs_f64());
         ensemble = analysis;
 
         let mean = ensemble.mean();
@@ -172,7 +177,21 @@ pub fn run_experiment(
         rmse.push(stats::metrics::rmse(&mean, &nature.truth[cycle + 1]));
         spread.push(ensemble.spread());
 
-        let _ = cycle;
+        if telemetry::enabled() {
+            telemetry::record_cycle(telemetry::CycleRecord {
+                label: label.to_string(),
+                cycle,
+                hours: (cycle + 1) as f64 * config.obs_interval_hours,
+                rmse: *rmse.last().unwrap(),
+                spread: *spread.last().unwrap(),
+                obs_count: nature.observations[cycle].len(),
+                phases: vec![
+                    ("forecast".to_string(), forecast_secs.unwrap_or(0.0)),
+                    ("analysis".to_string(), analysis_secs.unwrap_or(0.0)),
+                ],
+            });
+        }
+
         model.assimilate_feedback(&prev_mean, &mean);
         prev_mean = mean;
     }

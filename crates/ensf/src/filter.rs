@@ -106,6 +106,7 @@ impl Ensf {
         obs: &impl ObservationOperator,
     ) -> Ensemble {
         assert_eq!(y.len(), obs.obs_dim(), "observation length mismatch");
+        let _span = telemetry::span!("ensf.analysis");
         let members = forecast.members();
         let dim = forecast.dim();
         let cycle_seed = split_seed(self.config.seed, self.cycle.wrapping_add(0x5151));
@@ -162,6 +163,10 @@ impl Ensf {
 
         if self.config.spread_relaxation > 0.0 {
             relax_spread(&mut analysis, forecast, self.config.spread_relaxation);
+        }
+        if telemetry::enabled() {
+            telemetry::counter_add("ensf.analyses", 1);
+            telemetry::gauge_set("ensf.analysis.spread", analysis.spread());
         }
         analysis
     }

@@ -68,6 +68,7 @@ impl<'a> ScoreEstimator<'a> {
         assert_eq!(z.len(), self.dim);
         assert_eq!(out.len(), self.dim);
         assert_eq!(scratch.len(), self.batch.len());
+        let timer = telemetry::enabled().then(std::time::Instant::now);
 
         let alpha = self.schedule.alpha(t);
         let beta_sq = self.schedule.beta_sq(t);
@@ -109,6 +110,9 @@ impl<'a> ScoreEstimator<'a> {
             for ((o, zi), xi) in out.iter_mut().zip(z).zip(xj) {
                 *o -= wj * (zi - alpha * xi) * inv_b2;
             }
+        }
+        if let Some(t0) = timer {
+            telemetry::histogram_record("ensf.score.secs", t0.elapsed().as_secs_f64());
         }
         max_lw + total.ln()
     }

@@ -150,6 +150,7 @@ pub fn reverse_sde_stiff<R: Rng + ?Sized>(
             + lik_stiffness * schedule.damping(t_lo);
         let gain = schedule.sigma_sq(t_hi) * dt_full * lipschitz;
         let n_sub = ((gain / MAX_STEP_GAIN).ceil() as usize).clamp(1, MAX_SUBSTEPS);
+        telemetry::counter_add("ensf.sde.euler_steps", n_sub as u64);
         let dt = dt_full / n_sub as f64;
 
         for k in 0..n_sub {
@@ -199,6 +200,8 @@ pub fn reverse_sde_assimilate<R: Rng + ?Sized>(
 ) {
     let dim = z.len();
     let times = grid.points(schedule, n_steps);
+    // One add covers the whole particle: keeps the hot loop untouched.
+    telemetry::counter_add("ensf.sde.euler_steps", (times.len() - 1) as u64);
     let mut s = vec![0.0; dim];
     let mut lik = vec![0.0; dim];
     let mut jsq = vec![1.0; dim];

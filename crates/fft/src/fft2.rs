@@ -51,6 +51,7 @@ impl Fft2 {
 
     /// Transforms `data` (row-major, length `rows * cols`) in place.
     pub fn process(&self, data: &mut [Complex]) {
+        telemetry::counter_add("fft.fft2.calls", 1);
         assert_eq!(
             data.len(),
             self.rows * self.cols,

@@ -65,6 +65,7 @@ impl Letkf {
     /// Panics if ensemble dimension does not match the geometry, or any
     /// observation indexes out of range.
     pub fn analyze(&self, forecast: &Ensemble, obs: &[PointObs]) -> Ensemble {
+        let _span = telemetry::span!("letkf.analysis");
         let dim = forecast.dim();
         let members = forecast.members();
         assert_eq!(dim, self.geometry.state_dim(), "ensemble/geometry mismatch");
@@ -120,6 +121,8 @@ impl Letkf {
                     return x; // no information: analysis = forecast
                 }
                 let p = rows.len();
+                telemetry::counter_add("letkf.local_solves", 1);
+                telemetry::histogram_record("letkf.local_obs", p as f64);
                 let mut yb = Matrix::zeros(p, members);
                 for (r, row) in rows.iter().enumerate() {
                     yb.row_mut(r).copy_from_slice(row);
@@ -136,6 +139,10 @@ impl Letkf {
         }
 
         rtps(&mut analysis, forecast, self.config.rtps_alpha);
+        if telemetry::enabled() {
+            telemetry::counter_add("letkf.analyses", 1);
+            telemetry::gauge_set("letkf.analysis.spread", analysis.spread());
+        }
         analysis
     }
 

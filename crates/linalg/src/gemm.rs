@@ -36,6 +36,7 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (kb, n) = b.shape();
     assert_eq!(k, kb, "matmul_into: inner dimensions differ");
     assert_eq!(c.shape(), (m, n), "matmul_into: output shape mismatch");
+    telemetry::counter_add("linalg.gemm.flops", (2 * m * n * k) as u64);
     c.as_mut_slice().fill(0.0);
 
     let a_buf = a.as_slice();

@@ -1,0 +1,339 @@
+//! Minimal in-tree shim for the `bytes` crate (offline build).
+//!
+//! [`Bytes`] (cheaply cloneable, sliceable, immutable view backed by an
+//! `Arc<Vec<u8>>`), [`BytesMut`] (growable builder), and the little-endian
+//! [`Buf`]/[`BufMut`] accessors the serialization modules use.
+
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut, Index, IndexMut};
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable byte buffer; mirrors `bytes::Bytes`.
+///
+/// Cloning shares the backing allocation; [`Buf`] reads advance a per-value
+/// cursor, so a clone acts as an independent read cursor over shared data.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a view of the sub-range (sharing the backing allocation).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes { data: Arc::new(data), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+/// A growable byte buffer; mirrors `bytes::BytesMut`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Read cursor for the [`Buf`] impl.
+    pos: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap), pos: 0 }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        BytesMut { data: data.to_vec(), pos: 0 }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl Index<usize> for BytesMut {
+    type Output = u8;
+
+    fn index(&self, i: usize) -> &u8 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for BytesMut {
+    fn index_mut(&mut self, i: usize) -> &mut u8 {
+        &mut self.data[i]
+    }
+}
+
+/// Sequential little-endian reads; mirrors `bytes::Buf`.
+pub trait Buf {
+    /// Bytes remaining ahead of the cursor.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes from the cursor, advancing it.
+    ///
+    /// # Panics
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.get_u32_le().to_le_bytes())
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.get_u64_le().to_le_bytes())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "buffer underflow");
+        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        self.start += dst.len();
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "buffer underflow");
+        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Sequential little-endian writes; mirrors `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(42);
+        b.put_f32_le(1.5);
+        b.put_f64_le(-2.25);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.remaining(), 4 + 8 + 4 + 8);
+        assert_eq!(frozen.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(frozen.get_u64_le(), 42);
+        assert_eq!(frozen.get_f32_le(), 1.5);
+        assert_eq!(frozen.get_f64_le(), -2.25);
+        assert_eq!(frozen.remaining(), 0);
+    }
+
+    #[test]
+    fn clone_is_independent_cursor() {
+        let mut b = BytesMut::new();
+        b.put_u64_le(7);
+        let frozen = b.freeze();
+        let mut a = frozen.clone();
+        let mut c = frozen.clone();
+        assert_eq!(a.get_u64_le(), 7);
+        assert_eq!(a.remaining(), 0);
+        assert_eq!(c.get_u64_le(), 7, "clone keeps its own cursor");
+    }
+
+    #[test]
+    fn slice_shares_and_bounds() {
+        let data: Vec<u8> = (0..32).collect();
+        let b = Bytes::from(data);
+        let s = b.slice(8..16);
+        assert_eq!(&s[..], &(8u8..16).collect::<Vec<_>>()[..]);
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn bytes_mut_index_and_mutate() {
+        let mut raw = BytesMut::from(&[1u8, 2, 3][..]);
+        raw[0] ^= 0xFF;
+        assert_eq!(raw[0], 0xFE);
+        assert_eq!(raw.freeze()[0], 0xFE);
+    }
+
+    #[test]
+    #[should_panic]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1u8, 2]);
+        let _ = b.get_u32_le();
+    }
+}

@@ -1,0 +1,79 @@
+//! Minimal in-tree shim for the `crossbeam` crate (offline build).
+//!
+//! Only `channel::{unbounded, Sender, Receiver}` is implemented, as thin
+//! wrappers over `std::sync::mpsc`. The simulated-MPI runtime gives every
+//! rank its own inbox `Receiver` (moved into the rank's thread) and a clone
+//! of every peer's `Sender`, which is exactly the sharing pattern
+//! `std::sync::mpsc` supports natively.
+
+#![warn(missing_docs)]
+
+/// Multi-producer channels; mirrors `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when the receiving side has hung up.
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, failing if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives, failing if all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.inner.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_in_across_threads() {
+            let (tx, rx) = unbounded::<usize>();
+            std::thread::scope(|s| {
+                for i in 0..8 {
+                    let tx = tx.clone();
+                    s.spawn(move || tx.send(i).unwrap());
+                }
+                drop(tx);
+                let mut got: Vec<usize> = (0..8).map(|_| rx.recv().unwrap()).collect();
+                got.sort_unstable();
+                assert_eq!(got, (0..8).collect::<Vec<_>>());
+                assert!(rx.recv().is_err(), "all senders dropped");
+            });
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Minimal in-tree shim for the `rayon` crate (offline build).
+//!
+//! Real data parallelism on `std::thread::scope` — no work stealing, no
+//! global pool, just static contiguous partitioning of the index space over
+//! `available_parallelism()` scoped threads. That preserves the two
+//! properties this workspace depends on:
+//!
+//! 1. **determinism** — results are gathered in index order, identical to
+//!    the sequential execution (the tree's RNG streams are derived from
+//!    *global* indices, so scheduling cannot perturb them);
+//! 2. **disjointness** — `par_chunks_mut` hands every thread a disjoint set
+//!    of `&mut` chunks, so no unsafe code is needed anywhere.
+//!
+//! Implemented surface: `par_iter().map(...).collect()`, ranges'
+//! `into_par_iter().map(...).collect()`, and `par_chunks_mut(...)`
+//! (+ `.enumerate()`) `.for_each(...)` — exactly what the workspace uses.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Everything call sites import; mirrors `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads for `n` items (at least 1, at most the CPU
+/// count, never more than the item count).
+fn workers_for(n: usize) -> usize {
+    let cpus = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cpus.min(n).max(1)
+}
+
+/// Splits `0..n` into `w` contiguous, maximally even ranges.
+fn partition(n: usize, w: usize) -> Vec<std::ops::Range<usize>> {
+    let base = n / w;
+    let extra = n % w;
+    let mut out = Vec::with_capacity(w);
+    let mut start = 0;
+    for i in 0..w {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `f(i)` for every `i` in `0..n` on scoped threads, returning results
+/// in index order. Falls back to a plain loop for tiny inputs or
+/// single-core machines.
+fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let w = workers_for(n);
+    if w <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let ranges = partition(n, w);
+    let f = &f;
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(w);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move || r.map(f).collect::<Vec<T>>()))
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Runs `f(i)` for every `i` in `0..n` on scoped threads, for side effects.
+fn run_indexed_unit<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let w = workers_for(n);
+    if w <= 1 || n <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for r in partition(n, w) {
+            scope.spawn(move || {
+                for i in r {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+/// A parallel iterator: a lazy description of an indexed computation.
+pub trait ParallelIterator: Sized {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Number of items.
+    fn pi_len(&self) -> usize;
+
+    /// Computes the item at `index`. Must be callable concurrently.
+    fn pi_get(&self, index: usize) -> Self::Item;
+
+    /// Maps every item through `f` (lazily).
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Pairs every item with its index (lazily).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Applies `f` to every item, in parallel.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F)
+    where
+        Self: Sync,
+    {
+        run_indexed_unit(self.pi_len(), |i| f(self.pi_get(i)));
+    }
+
+    /// Collects into a container, preserving index order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C
+    where
+        Self: Sync,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        Self: Sync,
+        S: std::iter::Sum<Self::Item>,
+    {
+        run_indexed(self.pi_len(), |i| self.pi_get(i)).into_iter().sum()
+    }
+}
+
+/// Collection types constructible from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the container, preserving index order.
+    fn from_par_iter<P: ParallelIterator<Item = T> + Sync>(par: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T> + Sync>(par: P) -> Self {
+        run_indexed(par.pi_len(), |i| par.pi_get(i))
+    }
+}
+
+/// Lazy `map` adapter.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    F: Fn(P::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, index: usize) -> U {
+        (self.f)(self.base.pi_get(index))
+    }
+}
+
+/// Lazy `enumerate` adapter.
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, index: usize) -> (usize, P::Item) {
+        (index, self.base.pi_get(index))
+    }
+}
+
+/// Conversion into a parallel iterator; mirrors `rayon::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over `start..end`.
+pub struct RangeParIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+
+    fn pi_get(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter { start: self.start, len: self.end.saturating_sub(self.start) }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_get(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// Shared-slice parallel extensions; mirrors `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over the elements.
+    fn par_iter(&self) -> SliceParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceParIter<'_, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> SliceParIter<'_, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// Mutable-slice parallel extensions; mirrors `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { chunks: self.chunks_mut(size).collect() }
+    }
+}
+
+/// Parallel iterator over disjoint `&mut` chunks.
+///
+/// Consuming adaptor: unlike the read-only iterators above it owns the
+/// borrowed chunks, distributing whole chunks over scoped threads.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send + 'a> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { chunks: self.chunks }
+    }
+
+    /// Applies `f` to every chunk, in parallel.
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F)
+    where
+        T: Sync,
+    {
+        ParChunksMutEnumerate { chunks: self.chunks }.for_each(|(_, c)| f(c));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send + 'a> ParChunksMutEnumerate<'a, T> {
+    /// Applies `f` to every `(index, chunk)` pair, in parallel.
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F)
+    where
+        T: Sync,
+    {
+        let n = self.chunks.len();
+        let w = workers_for(n);
+        if w <= 1 || n <= 1 {
+            for (i, c) in self.chunks.into_iter().enumerate() {
+                f((i, c));
+            }
+            return;
+        }
+        // Deal whole (index, chunk) pairs to workers; chunks are disjoint
+        // `&mut` borrows, so each worker owns its share outright.
+        let mut shares: Vec<Vec<(usize, &'a mut [T])>> =
+            (0..w).map(|_| Vec::with_capacity(n / w + 1)).collect();
+        for (i, chunk) in self.chunks.into_iter().enumerate() {
+            shares[i % w].push((i, chunk));
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for share in shares {
+                scope.spawn(move || {
+                    for (i, chunk) in share {
+                        f((i, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_ordered() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter_matches_sequential() {
+        let data: Vec<(usize, usize)> = (0..64).map(|i| (i, i + 1)).collect();
+        let got: Vec<usize> = data.par_iter().map(|&(a, b)| a + b).collect();
+        let want: Vec<usize> = data.iter().map(|&(a, b)| a + b).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint_and_complete() {
+        let mut buf = vec![0u64; 10_000];
+        buf.par_chunks_mut(137).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i as u64 + 1;
+            }
+        });
+        assert!(buf.iter().all(|&x| x > 0), "every element visited");
+        // Chunk 0 covers [0, 137), chunk 1 [137, 274), ...
+        assert_eq!(buf[0], 1);
+        assert_eq!(buf[137], 2);
+        assert_eq!(buf[9999], (9999 / 137 + 1) as u64);
+    }
+
+    #[test]
+    fn par_chunks_mut_plain_for_each() {
+        let mut buf = vec![1.0f64; 512];
+        buf.par_chunks_mut(64).for_each(|chunk| {
+            for x in chunk.iter_mut() {
+                *x *= 2.0;
+            }
+        });
+        assert!(buf.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let mut empty: Vec<f64> = Vec::new();
+        empty.par_chunks_mut(4).for_each(|_| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn nested_parallelism_works() {
+        // letkf-style: par over grid points, gemm-style par inside.
+        let outer: Vec<Vec<usize>> = (0..8)
+            .into_par_iter()
+            .map(|i| (0..16).into_par_iter().map(move |j| i * 16 + j).collect())
+            .collect();
+        for (i, inner) in outer.iter().enumerate() {
+            assert_eq!(inner, &(i * 16..(i + 1) * 16).collect::<Vec<_>>());
+        }
+    }
+}

@@ -92,6 +92,7 @@ pub fn tendency(
 ) {
     let n = grid.n;
     let m = n * n;
+    telemetry::counter_add("sqg.tendency.calls", 1);
     invert(grid, theta, &mut scratch.psi);
 
     let ubg = p.background_wind();
@@ -114,10 +115,13 @@ pub fn tendency(
                 scratch.ty[idx] = Complex::new(0.0, ky) * th[idx];
             }
         }
-        ifft.process(&mut scratch.u);
-        ifft.process(&mut scratch.v);
-        ifft.process(&mut scratch.tx);
-        ifft.process(&mut scratch.ty);
+        {
+            let _span = telemetry::span!("fft");
+            ifft.process(&mut scratch.u);
+            ifft.process(&mut scratch.v);
+            ifft.process(&mut scratch.tx);
+            ifft.process(&mut scratch.ty);
+        }
 
         // Nonlinear advection in grid space (real parts; imaginary parts are
         // round-off because the physical fields are real).
@@ -126,9 +130,13 @@ pub fn tendency(
                 + scratch.v[idx].re * scratch.ty[idx].re;
             scratch.adv[idx] = Complex::from_re(adv);
         }
-        fwd.process(&mut scratch.adv);
+        {
+            let _span = telemetry::span!("fft");
+            fwd.process(&mut scratch.adv);
+        }
 
         // Assemble the spectral tendency with dealiasing on the product.
+        let _span = telemetry::span!("dealias");
         let t = &mut tend[l];
         for i in 0..n {
             let ky = grid.ky[i];
@@ -208,6 +216,8 @@ impl Stepper {
 
     /// One RK4 step of length `params.dt` applied in place.
     pub fn step(&mut self, theta: &mut [Vec<Complex>; LEVELS]) {
+        let _span = telemetry::span!("sqg.step");
+        telemetry::counter_add("sqg.steps", 1);
         let dt = self.params.dt;
         let m = self.grid.n * self.grid.n;
 

@@ -1,0 +1,215 @@
+//! Per-cycle data-assimilation diagnostics.
+//!
+//! The OSSE harness records one [`CycleRecord`] per assimilation cycle:
+//! cycle index, forecast hours, analysis RMSE, ensemble spread, observation
+//! count, and per-phase wall-clock timings. Records accumulate in a global
+//! buffer (retrievable via [`cycle_records`], exportable via
+//! [`write_jsonl`]) and, when `SQG_DA_TELEMETRY_JSONL` names a file, stream
+//! to it as JSON Lines as they are recorded.
+
+use crate::json::{self, Json};
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// Diagnostics for one assimilation cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleRecord {
+    /// Experiment / scheme label, e.g. `"EnSF"` or `"LETKF"`.
+    pub label: String,
+    /// Zero-based cycle index.
+    pub cycle: usize,
+    /// Simulated forecast hours elapsed at this cycle.
+    pub hours: f64,
+    /// Analysis root-mean-square error against truth.
+    pub rmse: f64,
+    /// Ensemble spread after analysis.
+    pub spread: f64,
+    /// Number of observations assimilated this cycle.
+    pub obs_count: usize,
+    /// `(phase name, wall-clock seconds)` pairs, e.g.
+    /// `[("forecast", 0.12), ("analysis", 0.05)]`.
+    pub phases: Vec<(String, f64)>,
+}
+
+impl CycleRecord {
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", Json::from(self.label.as_str())),
+            ("cycle", Json::from(self.cycle)),
+            ("hours", Json::Num(self.hours)),
+            ("rmse", Json::Num(self.rmse)),
+            ("spread", Json::Num(self.spread)),
+            ("obs_count", Json::from(self.obs_count)),
+            (
+                "phases",
+                Json::Obj(
+                    self.phases.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserializes from the object shape produced by [`to_json`].
+    pub fn from_json(v: &Json) -> Result<CycleRecord, String> {
+        let f = |k: &str| v.get(k).and_then(Json::as_f64).ok_or_else(|| format!("missing {k}"));
+        let phases = match v.get("phases") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, pv)| {
+                    pv.as_f64().map(|s| (k.clone(), s)).ok_or_else(|| format!("bad phase {k}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing phases".into()),
+        };
+        Ok(CycleRecord {
+            label: v
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or("missing label")?
+                .to_string(),
+            cycle: f("cycle")? as usize,
+            hours: f("hours")?,
+            rmse: f("rmse")?,
+            spread: f("spread")?,
+            obs_count: f("obs_count")? as usize,
+            phases,
+        })
+    }
+}
+
+struct CycleSink {
+    records: Vec<CycleRecord>,
+    /// Lazily opened JSONL stream; `Some(None)` means "resolved: no file".
+    stream: Option<Option<File>>,
+}
+
+static SINK: Mutex<CycleSink> = Mutex::new(CycleSink { records: Vec::new(), stream: None });
+
+fn open_stream() -> Option<File> {
+    let path = std::env::var("SQG_DA_TELEMETRY_JSONL").ok()?;
+    if path.trim().is_empty() {
+        return None;
+    }
+    match File::create(&path) {
+        Ok(f) => Some(f),
+        Err(e) => {
+            eprintln!("telemetry: cannot open SQG_DA_TELEMETRY_JSONL={path}: {e}");
+            None
+        }
+    }
+}
+
+/// Records one cycle's diagnostics (no-op while telemetry is disabled).
+///
+/// Appends to the in-memory buffer and, when `SQG_DA_TELEMETRY_JSONL` is
+/// set, writes the record's JSON line to that file immediately.
+pub fn record_cycle(record: CycleRecord) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut sink = SINK.lock();
+    let stream = sink.stream.get_or_insert_with(open_stream);
+    if let Some(file) = stream {
+        let line = format!("{}\n", record.to_json());
+        if let Err(e) = file.write_all(line.as_bytes()) {
+            eprintln!("telemetry: JSONL write failed: {e}");
+        }
+    }
+    sink.records.push(record);
+}
+
+/// All cycle records collected so far, in recording order.
+pub fn cycle_records() -> Vec<CycleRecord> {
+    SINK.lock().records.clone()
+}
+
+/// Clears the in-memory cycle buffer (the JSONL stream, if any, is kept).
+pub fn clear_cycles() {
+    SINK.lock().records.clear();
+}
+
+/// Writes all collected cycle records to `path` as JSON Lines.
+pub fn write_jsonl(path: &Path) -> std::io::Result<()> {
+    let records = cycle_records();
+    let mut out = String::new();
+    for r in &records {
+        out.push_str(&r.to_json().to_string());
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+/// Parses a JSONL string back into records; errors carry the line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<CycleRecord>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+        .map(|(i, line)| {
+            let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            CycleRecord::from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(cycle: usize) -> CycleRecord {
+        CycleRecord {
+            label: "EnSF".into(),
+            cycle,
+            hours: cycle as f64 * 6.0,
+            rmse: 0.1 / (cycle + 1) as f64,
+            spread: 0.08,
+            obs_count: 128,
+            phases: vec![("forecast".into(), 0.012), ("analysis".into(), 0.034)],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let records: Vec<_> = (0..4).map(sample).collect();
+        let mut text = String::new();
+        for r in &records {
+            text.push_str(&r.to_json().to_string());
+            text.push('\n');
+        }
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn record_and_clear_buffer() {
+        let _lock = crate::TEST_LOCK.lock();
+        crate::set_enabled(true);
+        clear_cycles();
+        record_cycle(sample(0));
+        record_cycle(sample(1));
+        let recs = cycle_records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].cycle, 1);
+        clear_cycles();
+        assert!(cycle_records().is_empty());
+    }
+
+    #[test]
+    fn disabled_drops_records() {
+        let _lock = crate::TEST_LOCK.lock();
+        crate::set_enabled(true);
+        clear_cycles();
+        crate::set_enabled(false);
+        record_cycle(sample(0));
+        crate::set_enabled(true);
+        assert!(cycle_records().is_empty());
+    }
+
+    #[test]
+    fn bad_lines_report_position() {
+        let err = parse_jsonl("{\"label\":\"x\"}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+}

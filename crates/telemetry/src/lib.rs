@@ -1,0 +1,129 @@
+//! Workspace-wide telemetry: hierarchical span timers, counters / gauges /
+//! histograms, and per-cycle data-assimilation diagnostics with JSONL export.
+//!
+//! Everything routes through a process-global registry so instrumentation
+//! can be dropped into any crate without plumbing a context object through
+//! hot call paths. The whole layer sits behind a single enable switch:
+//!
+//! * Set `SQG_DA_TELEMETRY=1` (or `true` / `on`) in the environment, or call
+//!   [`set_enabled(true)`](set_enabled), to turn collection on.
+//! * When disabled (the default), every instrumentation macro reduces to one
+//!   relaxed atomic load — a few nanoseconds — so instrumented hot loops cost
+//!   effectively nothing (see `crates/bench/benches/telemetry_bench.rs`).
+//! * Set `SQG_DA_TELEMETRY_JSONL=/path/to/file.jsonl` to stream every
+//!   completed assimilation cycle record to disk as it is recorded.
+//!
+//! The main entry points:
+//!
+//! * [`span!`] — RAII wall-clock timer; nested spans build dotted paths like
+//!   `osse.cycle.analysis`.
+//! * [`counter_add`] / [`gauge_set`] / [`histogram_record`] — named
+//!   metrics with sharded, rayon-safe aggregation.
+//! * [`CycleRecord`] + [`record_cycle`] — structured per-cycle DA
+//!   diagnostics (RMSE, spread, per-phase timings) serializable to JSONL.
+//! * [`snapshot_json`](report::snapshot_json) — one JSON object with every
+//!   span and metric, used by the bench binaries' `--json` flag.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+pub mod cycle;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use cycle::{clear_cycles, cycle_records, record_cycle, write_jsonl, CycleRecord};
+pub use json::Json;
+pub use metrics::{
+    counter_add, counter_value, gauge_set, gauge_value, histogram_record, HistogramSnapshot,
+};
+pub use span::{span_enter, span_snapshot, SpanGuard, SpanStat};
+
+/// Tri-state enable flag: 0 = unresolved, 1 = disabled, 2 = enabled.
+///
+/// Unresolved collapses to the environment's answer on first query, so the
+/// steady-state check is a single relaxed load of a cached value.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+// State 0 is "unresolved"; `resolve_from_env` collapses it on first query.
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+#[cold]
+fn resolve_from_env() -> bool {
+    let on = std::env::var("SQG_DA_TELEMETRY")
+        .map(|v| matches!(v.trim(), "1" | "true" | "TRUE" | "on" | "ON"))
+        .unwrap_or(false);
+    ENABLED.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Whether telemetry collection is currently on.
+///
+/// This is the hot-path check every instrumentation macro performs first;
+/// after the first call it is a single relaxed atomic load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => resolve_from_env(),
+    }
+}
+
+/// Programmatically enables or disables collection, overriding the
+/// `SQG_DA_TELEMETRY` environment variable.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+/// Resets all collected telemetry (spans, metrics, cycle records) without
+/// touching the enable state. Intended for tests and between-experiment
+/// boundaries.
+pub fn reset() {
+    span::reset_spans();
+    metrics::reset_metrics();
+    cycle::clear_cycles();
+}
+
+/// Opens a named wall-clock span for the enclosing scope.
+///
+/// ```
+/// # telemetry::set_enabled(true);
+/// {
+///     let _span = telemetry::span!("ensf.analysis");
+///     // ... timed work ...
+/// }
+/// assert!(telemetry::span_snapshot().iter().any(|s| s.path == "ensf.analysis"));
+/// ```
+///
+/// Spans nest: a span opened while another is active on the same thread
+/// records under the dotted concatenation of the active paths. When
+/// telemetry is disabled this costs one atomic load and returns a no-op
+/// guard.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span_enter($name)
+    };
+}
+
+/// Serializes unit tests that toggle the global enable flag or reset the
+/// global registries, since the test harness runs tests concurrently.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggle_round_trip() {
+        let _lock = TEST_LOCK.lock();
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+    }
+}

@@ -9,6 +9,11 @@
 //! the truth, and cycles forecast + EnSF analysis for five 12-hour
 //! assimilation windows, printing how the error contracts toward the
 //! observation accuracy.
+//!
+//! With `SQG_DA_TELEMETRY=1` each cycle is also captured as a structured
+//! record (RMSE, spread, per-phase timings) and written to
+//! `quickstart_cycles.jsonl` — or streamed to `SQG_DA_TELEMETRY_JSONL` if
+//! that is set.
 
 use sqg_da::da_core::ForecastModel;
 use sqg_da::ensf::{Ensf, EnsfConfig, IdentityObs};
@@ -49,17 +54,44 @@ fn main() {
     let mut last_forecast = f64::NAN;
     let mut last_analysis = f64::NAN;
     for cycle in 1..=5 {
+        let t_fc = telemetry::enabled().then(std::time::Instant::now);
         model.forecast(&mut truth, 12.0);
         model.forecast_ensemble(&mut ensemble, 12.0);
+        let forecast_secs = t_fc.map(|t| t.elapsed().as_secs_f64());
         last_forecast = metrics::rmse(&ensemble.mean(), &truth);
 
         let y: Vec<f64> = truth
             .iter()
             .map(|&t| t + obs_sigma * gaussian::standard_normal(&mut obs_rng))
             .collect();
+        let t_an = telemetry::enabled().then(std::time::Instant::now);
         ensemble = filter.analyze(&ensemble, &y, &obs_op);
+        let analysis_secs = t_an.map(|t| t.elapsed().as_secs_f64());
         last_analysis = metrics::rmse(&ensemble.mean(), &truth);
         println!("{cycle:>6} {last_forecast:>16.6} {last_analysis:>16.6}");
+
+        if telemetry::enabled() {
+            telemetry::record_cycle(telemetry::CycleRecord {
+                label: "quickstart".to_string(),
+                cycle: cycle - 1,
+                hours: cycle as f64 * 12.0,
+                rmse: last_analysis,
+                spread: ensemble.spread(),
+                obs_count: y.len(),
+                phases: vec![
+                    ("forecast".to_string(), forecast_secs.unwrap_or(0.0)),
+                    ("analysis".to_string(), analysis_secs.unwrap_or(0.0)),
+                ],
+            });
+        }
+    }
+
+    // Flush the per-cycle telemetry (if enabled) for downstream tooling.
+    if telemetry::enabled() && std::env::var("SQG_DA_TELEMETRY_JSONL").is_err() {
+        let path = "quickstart_cycles.jsonl";
+        telemetry::write_jsonl(std::path::Path::new(path))
+            .expect("failed to write cycle records");
+        println!("\ntelemetry: {} cycle records written to {path}", 5);
     }
 
     println!(
