@@ -144,7 +144,10 @@ pub fn run_comparison(config: &ComparisonConfig, mut surrogate: VitSurrogate) ->
     {
         let mut model = SqgForecast::perfect(config.osse.params.clone());
         let mut scheme = NoAssimilation;
-        series.push(run_experiment("SQG only", &config.osse, &nature, &mut model, &mut scheme));
+        series.push(
+            run_experiment("SQG only", &config.osse, &nature, &mut model, &mut scheme)
+                .expect("comparison experiments are consistent by construction"),
+        );
     }
 
     // 2. ViT only (offline surrogate, no DA, no online learning). Runs
@@ -153,13 +156,10 @@ pub fn run_comparison(config: &ComparisonConfig, mut surrogate: VitSurrogate) ->
     {
         surrogate.online_steps = 0;
         let mut scheme = NoAssimilation;
-        series.push(run_experiment(
-            "ViT only",
-            &config.osse,
-            &nature,
-            &mut surrogate,
-            &mut scheme,
-        ));
+        series.push(
+            run_experiment("ViT only", &config.osse, &nature, &mut surrogate, &mut scheme)
+                .expect("comparison experiments are consistent by construction"),
+        );
     }
 
     // 3. SQG + LETKF (SOTA baseline, paper-tuned inflation/localization).
@@ -170,13 +170,10 @@ pub fn run_comparison(config: &ComparisonConfig, mut surrogate: VitSurrogate) ->
             &config.osse.params,
             config.osse.obs_sigma,
         );
-        series.push(run_experiment(
-            "SQG+LETKF",
-            &config.osse,
-            &nature,
-            &mut model,
-            &mut scheme,
-        ));
+        series.push(
+            run_experiment("SQG+LETKF", &config.osse, &nature, &mut model, &mut scheme)
+                .expect("comparison experiments are consistent by construction"),
+        );
     }
 
     // 4. ViT + EnSF with online surrogate fine-tuning (the proposal).
@@ -191,13 +188,10 @@ pub fn run_comparison(config: &ComparisonConfig, mut surrogate: VitSurrogate) ->
             config.osse.params.state_dim(),
             config.osse.obs_sigma,
         );
-        series.push(run_experiment(
-            "ViT+EnSF",
-            &config.osse,
-            &nature,
-            &mut surrogate,
-            &mut scheme,
-        ));
+        series.push(
+            run_experiment("ViT+EnSF", &config.osse, &nature, &mut surrogate, &mut scheme)
+                .expect("comparison experiments are consistent by construction"),
+        );
     }
 
     Comparison { nature, series }

@@ -12,7 +12,9 @@
 //! - [`VitSurrogate`] — offline pre-training plus the online fine-tuning
 //!   channel through [`ForecastModel::assimilate_feedback`],
 //! - [`experiments`] — the four architectures of Figs. 4–5
-//!   (SQG-only / ViT-only / SQG+LETKF / ViT+EnSF) over a shared nature run.
+//!   (SQG-only / ViT-only / SQG+LETKF / ViT+EnSF) over a shared nature run,
+//! - [`resilience`] — fault injection, ensemble health guardrails,
+//!   checkpoint/restore, and the supervised (fault-tolerant) cycling loop.
 //!
 //! ```no_run
 //! use da_core::experiments::{pretrain_surrogate, run_comparison, ComparisonConfig};
@@ -29,14 +31,17 @@
 // RK4 stage loops update state arrays at matched indices.
 #![allow(clippy::needless_range_loop)]
 
+mod error;
 pub mod experiments;
 mod forecast;
 mod lorenz96;
 mod model_error;
 pub mod osse;
+pub mod resilience;
 mod surrogate;
 mod traits;
 
+pub use error::OsseError;
 pub use forecast::SqgForecast;
 pub use lorenz96::{Lorenz96, Lorenz96Params};
 pub use model_error::{ModelError, ModelErrorConfig};

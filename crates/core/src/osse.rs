@@ -134,11 +134,41 @@ pub struct CycleSeries {
 
 impl CycleSeries {
     /// Mean RMSE over the last half of the cycles (steady-state skill).
+    ///
+    /// Degenerate series are handled rather than poisoned: an empty series
+    /// returns `0.0` (no cycles, no error) and a single-cycle series
+    /// returns that cycle's RMSE.
     pub fn steady_rmse(&self) -> f64 {
-        let half = self.rmse.len() / 2;
-        let tail = &self.rmse[half..];
-        tail.iter().sum::<f64>() / tail.len().max(1) as f64
+        if self.rmse.is_empty() {
+            return 0.0;
+        }
+        let tail = &self.rmse[self.rmse.len() / 2..];
+        tail.iter().sum::<f64>() / tail.len() as f64
     }
+}
+
+/// Checks that a nature run, configuration, and model agree before cycling.
+pub(crate) fn validate_experiment(
+    config: &OsseConfig,
+    nature: &NatureRun,
+    model: &dyn ForecastModel,
+) -> Result<(), crate::OsseError> {
+    let Some(truth0) = nature.truth.first() else {
+        return Err(crate::OsseError::EmptyNatureRun);
+    };
+    if model.state_dim() != truth0.len() {
+        return Err(crate::OsseError::DimensionMismatch {
+            model: model.state_dim(),
+            nature: truth0.len(),
+        });
+    }
+    if nature.observations.len() < config.cycles || nature.truth.len() < config.cycles + 1 {
+        return Err(crate::OsseError::ObservationShortfall {
+            cycles: config.cycles,
+            observations: nature.observations.len().min(nature.truth.len().saturating_sub(1)),
+        });
+    }
+    Ok(())
 }
 
 /// Runs one DA experiment against a prepared nature run.
@@ -146,14 +176,20 @@ impl CycleSeries {
 /// After every analysis, `model.assimilate_feedback` receives the analyzed
 /// transition (previous analysis mean → current analysis mean) — the online
 /// training channel of Fig. 1; physics models ignore it.
+///
+/// Configuration mismatches (wrong model dimension, empty or too-short
+/// nature run) are reported as [`crate::OsseError`] instead of aborting,
+/// so batch drivers can skip a bad experiment and keep going. For cycling
+/// that also survives *runtime* faults, see
+/// [`resilience::run_supervised`](crate::resilience::run_supervised).
 pub fn run_experiment(
     label: &str,
     config: &OsseConfig,
     nature: &NatureRun,
     model: &mut dyn ForecastModel,
     scheme: &mut dyn AnalysisScheme,
-) -> CycleSeries {
-    assert_eq!(model.state_dim(), nature.truth[0].len(), "model/nature dimension mismatch");
+) -> Result<CycleSeries, crate::OsseError> {
+    validate_experiment(config, nature, model)?;
     let mut ensemble = initial_ensemble(config, &nature.truth[0]);
     let mut hours = Vec::with_capacity(config.cycles);
     let mut rmse = Vec::with_capacity(config.cycles);
@@ -189,6 +225,7 @@ pub fn run_experiment(
                     ("forecast".to_string(), forecast_secs.unwrap_or(0.0)),
                     ("analysis".to_string(), analysis_secs.unwrap_or(0.0)),
                 ],
+                events: Vec::new(),
             });
         }
 
@@ -196,13 +233,13 @@ pub fn run_experiment(
         prev_mean = mean;
     }
 
-    CycleSeries {
+    Ok(CycleSeries {
         label: label.to_string(),
         hours,
         rmse,
         spread,
         final_mean: ensemble.mean(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -263,12 +300,54 @@ mod tests {
     }
 
     #[test]
+    fn steady_rmse_handles_degenerate_series() {
+        let mut s = CycleSeries {
+            label: "empty".to_string(),
+            hours: Vec::new(),
+            rmse: Vec::new(),
+            spread: Vec::new(),
+            final_mean: Vec::new(),
+        };
+        assert_eq!(s.steady_rmse(), 0.0, "empty series must not divide by zero");
+        s.rmse = vec![0.25];
+        assert_eq!(s.steady_rmse(), 0.25, "single cycle is its own steady state");
+        s.rmse = vec![10.0, 2.0, 4.0];
+        assert_eq!(s.steady_rmse(), 3.0, "only the last half counts");
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported_not_fatal() {
+        let cfg = tiny_config();
+        let nr = nature_run(&cfg);
+        let wrong = SqgParams { n: 8, ..Default::default() };
+        let mut model = SqgForecast::perfect(wrong);
+        let mut scheme = NoAssimilation;
+        let err = run_experiment("bad", &cfg, &nr, &mut model, &mut scheme).unwrap_err();
+        assert_eq!(err, crate::OsseError::DimensionMismatch { model: 128, nature: 512 });
+    }
+
+    #[test]
+    fn short_nature_run_is_reported() {
+        let cfg = tiny_config();
+        let mut nr = nature_run(&cfg);
+        nr.observations.pop();
+        let mut model = SqgForecast::perfect(cfg.params.clone());
+        let mut scheme = NoAssimilation;
+        let err = run_experiment("short", &cfg, &nr, &mut model, &mut scheme).unwrap_err();
+        assert_eq!(err, crate::OsseError::ObservationShortfall { cycles: 5, observations: 4 });
+
+        nr.truth.clear();
+        let err = run_experiment("empty", &cfg, &nr, &mut model, &mut scheme).unwrap_err();
+        assert_eq!(err, crate::OsseError::EmptyNatureRun);
+    }
+
+    #[test]
     fn free_run_rmse_grows() {
         let cfg = tiny_config();
         let nr = nature_run(&cfg);
         let mut model = SqgForecast::perfect(cfg.params.clone());
         let mut scheme = NoAssimilation;
-        let series = run_experiment("free", &cfg, &nr, &mut model, &mut scheme);
+        let series = run_experiment("free", &cfg, &nr, &mut model, &mut scheme).unwrap();
         assert_eq!(series.rmse.len(), 5);
         // Chaotic growth: the last RMSE exceeds the first.
         assert!(series.rmse[4] > series.rmse[0], "{:?}", series.rmse);
@@ -281,7 +360,8 @@ mod tests {
 
         let mut free_model = SqgForecast::perfect(cfg.params.clone());
         let mut free = NoAssimilation;
-        let free_series = run_experiment("free", &cfg, &nr, &mut free_model, &mut free);
+        let free_series =
+            run_experiment("free", &cfg, &nr, &mut free_model, &mut free).unwrap();
 
         let mut da_model = SqgForecast::perfect(cfg.params.clone());
         let mut scheme = EnsfScheme::new(
@@ -289,7 +369,7 @@ mod tests {
             cfg.params.state_dim(),
             cfg.obs_sigma,
         );
-        let da_series = run_experiment("ensf", &cfg, &nr, &mut da_model, &mut scheme);
+        let da_series = run_experiment("ensf", &cfg, &nr, &mut da_model, &mut scheme).unwrap();
 
         assert!(
             da_series.steady_rmse() < free_series.steady_rmse(),
@@ -340,7 +420,7 @@ mod tests {
         let nr = nature_run(&cfg);
         let mut model = Probe { dim: 512, calls: 0 };
         let mut scheme = NoAssimilation;
-        run_experiment("probe", &cfg, &nr, &mut model, &mut scheme);
+        run_experiment("probe", &cfg, &nr, &mut model, &mut scheme).unwrap();
         assert_eq!(model.calls, cfg.cycles);
     }
 }

@@ -1,0 +1,201 @@
+//! Deterministic, seedable fault injection for the cycling loop.
+//!
+//! A [`FaultPlan`] scripts every failure the supervised OSSE loop must
+//! survive: ensemble members corrupted mid-forecast, observation batches
+//! dropped / delayed / thinned, analysis steps that fail a set number of
+//! attempts, and a simulated process kill. Plans are plain data — the same
+//! plan replayed against the same configuration produces the same run, so
+//! chaos tests are as reproducible as clean ones. (Rank-level faults for
+//! the simulated collectives live in `hpc::resilience`, next to the cost
+//! models they perturb.)
+
+use stats::Ensemble;
+
+/// How an ensemble member is damaged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MemberFaultKind {
+    /// The member's state becomes all-NaN (e.g. a crashed forecast rank).
+    Nan,
+    /// The member's state is scaled by a factor (silent numerical blowup;
+    /// use a large factor to trip the divergence guardrails).
+    Corrupt {
+        /// Multiplicative damage factor.
+        scale: f64,
+    },
+}
+
+/// One scripted member fault, applied right after the member's forecast.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemberFault {
+    /// Zero-based cycle at which the fault fires.
+    pub cycle: usize,
+    /// Ensemble member index to damage.
+    pub member: usize,
+    /// Damage applied.
+    pub kind: MemberFaultKind,
+}
+
+/// How an observation batch is degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsFault {
+    /// The batch never arrives: the loop must run a forecast-only cycle.
+    Drop,
+    /// The batch arrives `by` cycles late. It is unusable at its own cycle
+    /// (forecast-only) and stale on arrival, where it is discarded.
+    Delay {
+        /// Cycles of delay.
+        by: usize,
+    },
+    /// Only every `stride`-th component arrives (partial network outage).
+    Thin {
+        /// Keep-every-`stride` subsampling factor (≥ 2 to thin anything).
+        stride: usize,
+    },
+}
+
+/// A forced analysis failure: the first `failures` analysis attempts at
+/// `cycle` return a poisoned (all-NaN) ensemble, exercising the
+/// retry-with-fresh-seed and fallback-scheme recovery paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisFault {
+    /// Zero-based cycle at which the analysis misbehaves.
+    pub cycle: usize,
+    /// Number of attempts that fail before one succeeds.
+    pub failures: usize,
+}
+
+/// The full fault script for one supervised run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Member corruptions, applied after the forecast of their cycle.
+    pub member_faults: Vec<MemberFault>,
+    /// Observation-batch faults, at most one per cycle (the first match
+    /// wins).
+    pub obs_faults: Vec<(usize, ObsFault)>,
+    /// Forced analysis failures.
+    pub analysis_faults: Vec<AnalysisFault>,
+    /// Simulated process kill: the run stops (checkpointing if configured)
+    /// after completing this many cycles. `None` runs to completion.
+    pub kill_after: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing (the supervised loop then behaves like the
+    /// plain one, plus health monitoring).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.member_faults.is_empty()
+            && self.obs_faults.is_empty()
+            && self.analysis_faults.is_empty()
+            && self.kill_after.is_none()
+    }
+
+    /// Applies this cycle's member faults to a freshly forecast ensemble,
+    /// returning one event string per fault actually applied.
+    pub fn inject_member_faults(&self, cycle: usize, ensemble: &mut Ensemble) -> Vec<String> {
+        let mut events = Vec::new();
+        for fault in self.member_faults.iter().filter(|f| f.cycle == cycle) {
+            if fault.member >= ensemble.members() {
+                continue;
+            }
+            let member = ensemble.member_mut(fault.member);
+            match fault.kind {
+                MemberFaultKind::Nan => member.fill(f64::NAN),
+                MemberFaultKind::Corrupt { scale } => {
+                    for v in member.iter_mut() {
+                        *v *= scale;
+                    }
+                }
+            }
+            events.push(format!("member_fault_injected:{}", fault.member));
+        }
+        events
+    }
+
+    /// The observation fault scheduled for `cycle`, if any.
+    pub fn obs_fault_at(&self, cycle: usize) -> Option<ObsFault> {
+        self.obs_faults.iter().find(|(c, _)| *c == cycle).map(|(_, f)| *f)
+    }
+
+    /// How many analysis attempts are forced to fail at `cycle`.
+    pub fn analysis_failures_at(&self, cycle: usize) -> usize {
+        self.analysis_faults
+            .iter()
+            .find(|f| f.cycle == cycle)
+            .map(|f| f.failures)
+            .unwrap_or(0)
+    }
+
+    /// Number of delayed batches whose stale copies arrive at `cycle`
+    /// (the supervisor discards them and counts the discard).
+    pub fn stale_arrivals_at(&self, cycle: usize) -> usize {
+        self.obs_faults
+            .iter()
+            .filter(|(c, f)| matches!(f, ObsFault::Delay { by } if c + by == cycle))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan {
+            member_faults: vec![
+                MemberFault { cycle: 2, member: 1, kind: MemberFaultKind::Nan },
+                MemberFault { cycle: 2, member: 0, kind: MemberFaultKind::Corrupt { scale: 1e6 } },
+            ],
+            obs_faults: vec![(3, ObsFault::Drop), (5, ObsFault::Delay { by: 2 })],
+            analysis_faults: vec![AnalysisFault { cycle: 4, failures: 1 }],
+            kill_after: None,
+        }
+    }
+
+    #[test]
+    fn member_faults_apply_only_at_their_cycle() {
+        let p = plan();
+        let mut e = Ensemble::from_members(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        assert!(p.inject_member_faults(0, &mut e).is_empty());
+        assert!(e.as_slice().iter().all(|v| v.is_finite()));
+        let events = p.inject_member_faults(2, &mut e);
+        assert_eq!(events.len(), 2);
+        assert!(e.member(1).iter().all(|v| v.is_nan()));
+        assert_eq!(e.member(0), &[1e6, 1e6]);
+        assert_eq!(e.member(2), &[3.0, 3.0], "unfaulted members untouched");
+    }
+
+    #[test]
+    fn out_of_range_member_ignored() {
+        let p = FaultPlan {
+            member_faults: vec![MemberFault { cycle: 0, member: 9, kind: MemberFaultKind::Nan }],
+            ..FaultPlan::none()
+        };
+        let mut e = Ensemble::from_members(&[vec![1.0]]);
+        assert!(p.inject_member_faults(0, &mut e).is_empty());
+        assert!(e.as_slice()[0].is_finite());
+    }
+
+    #[test]
+    fn obs_and_analysis_lookups() {
+        let p = plan();
+        assert_eq!(p.obs_fault_at(3), Some(ObsFault::Drop));
+        assert_eq!(p.obs_fault_at(5), Some(ObsFault::Delay { by: 2 }));
+        assert_eq!(p.obs_fault_at(0), None);
+        assert_eq!(p.analysis_failures_at(4), 1);
+        assert_eq!(p.analysis_failures_at(3), 0);
+        assert_eq!(p.stale_arrivals_at(7), 1, "delayed batch from cycle 5 lands at 7");
+        assert_eq!(p.stale_arrivals_at(6), 0);
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(!plan().is_empty());
+        assert!(!FaultPlan { kill_after: Some(3), ..FaultPlan::none() }.is_empty());
+    }
+}

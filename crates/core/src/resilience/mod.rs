@@ -1,0 +1,34 @@
+//! Fault-tolerant DA cycling: fault injection, health guardrails,
+//! checkpoint/restore, and degraded-cycle recovery.
+//!
+//! At the scale the paper targets (millions of state variables, real-time
+//! cadence, thousands of ranks), component failures are routine rather than
+//! exceptional: forecast members crash or silently blow up, observation
+//! feeds stall, and stochastic analyses occasionally produce garbage. This
+//! module makes the cycling loop survive all of that:
+//!
+//! - [`fault`] — deterministic, seedable fault scripts ([`FaultPlan`]) so
+//!   every failure mode can be rehearsed reproducibly in CI;
+//! - [`health`] — cheap per-cycle guardrails (non-finite/outlier member
+//!   scans, spread-collapse and divergence detection) and deterministic
+//!   repairs (quarantine-and-resample, re-inflation);
+//! - [`checkpoint`] — binary [`Checkpoint`]s of the *full* cycling state
+//!   (ensemble, scheme RNG position, verification series, health state)
+//!   that resume bit-identically;
+//! - [`supervisor`] — the supervised loop itself, a state machine
+//!   (`Healthy → Degraded → Recovering → Healthy`) wrapping
+//!   `run_experiment`'s cycle body with retry, fallback, and forecast-only
+//!   degradation, reporting every recovery through telemetry.
+
+pub mod checkpoint;
+pub mod fault;
+pub mod health;
+pub mod supervisor;
+
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use fault::{AnalysisFault, FaultPlan, MemberFault, MemberFaultKind, ObsFault};
+pub use health::HealthPolicy;
+pub use supervisor::{
+    resume_supervised, run_supervised, CheckpointConfig, LoopState, RecoveryCounters,
+    ResilienceConfig, SupervisedCycle, SupervisedRun,
+};

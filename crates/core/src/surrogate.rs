@@ -140,6 +140,19 @@ impl ForecastModel for VitSurrogate {
         }
     }
 
+    /// Checkpoints the adapted network weights (the online fine-tuning
+    /// state). Optimizer moments are not captured, so a resumed run's
+    /// *future* online updates are approximate — the restored forecasts
+    /// themselves are exact.
+    fn save_state(&mut self) -> Option<Vec<u8>> {
+        Some(vit::save_weights(&mut self.model).to_vec())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let blob = bytes::Bytes::from(bytes.to_vec());
+        vit::load_weights(&mut self.model, &blob).is_ok()
+    }
+
     fn forecast(&mut self, state: &mut [f64], hours: f64) {
         let intervals = (hours / self.interval_hours).round() as usize;
         assert!(

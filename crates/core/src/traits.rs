@@ -26,6 +26,19 @@ pub trait ForecastModel {
     /// surrogates absorb observational information. Physics models ignore
     /// it (default no-op).
     fn assimilate_feedback(&mut self, _prev_analysis: &[f64], _curr_analysis: &[f64]) {}
+
+    /// Serializes adaptive internal state for checkpointing. Stateless
+    /// physics models return `None` (the default): their forecasts are a
+    /// pure function of the state vector, so there is nothing to save.
+    fn save_state(&mut self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state captured by [`ForecastModel::save_state`]. Returns
+    /// `false` when the blob is unsupported or invalid (default).
+    fn load_state(&mut self, _bytes: &[u8]) -> bool {
+        false
+    }
 }
 
 /// An analysis scheme combining a forecast ensemble with observations of
@@ -37,6 +50,24 @@ pub trait AnalysisScheme {
     /// Produces the analysis ensemble from the forecast ensemble and the
     /// observation vector.
     fn analyze(&mut self, forecast: &Ensemble, observation: &[f64]) -> Ensemble;
+
+    /// `(epoch, seed)` pinning the scheme's internal RNG streams, captured
+    /// at checkpoint time. Deterministic/stateless schemes (LETKF, free
+    /// runs) return `(0, 0)` (the default).
+    fn rng_state(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
+    /// Restores the `(epoch, seed)` captured by
+    /// [`AnalysisScheme::rng_state`], so a resumed run replays the exact
+    /// noise streams of the uninterrupted one. Default: no-op.
+    fn set_rng_state(&mut self, _epoch: u64, _seed: u64) {}
+
+    /// Switches the scheme onto a fresh internal noise stream — the
+    /// supervised loop's retry path after a failed analysis. Deterministic
+    /// schemes ignore it (a retry would reproduce the same failure, so the
+    /// supervisor falls back instead).
+    fn reseed(&mut self, _seed: u64) {}
 }
 
 /// The "no assimilation" scheme: analysis = forecast (free run).
@@ -74,6 +105,19 @@ impl AnalysisScheme for EnsfScheme {
     fn analyze(&mut self, forecast: &Ensemble, observation: &[f64]) -> Ensemble {
         self.filter.analyze(forecast, observation, &self.obs)
     }
+
+    fn rng_state(&self) -> (u64, u64) {
+        (self.filter.cycle(), self.filter.config().seed)
+    }
+
+    fn set_rng_state(&mut self, epoch: u64, seed: u64) {
+        self.filter.set_cycle(epoch);
+        self.filter.reseed(seed);
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.filter.reseed(seed);
+    }
 }
 
 /// EnSF adapter over a *sparse* network observing every `stride`-th state
@@ -107,6 +151,19 @@ impl AnalysisScheme for SparseEnsfScheme {
     fn analyze(&mut self, forecast: &Ensemble, observation: &[f64]) -> Ensemble {
         let y: Vec<f64> = observation.iter().step_by(self.stride).copied().collect();
         self.filter.analyze(forecast, &y, &self.obs)
+    }
+
+    fn rng_state(&self) -> (u64, u64) {
+        (self.filter.cycle(), self.filter.config().seed)
+    }
+
+    fn set_rng_state(&mut self, epoch: u64, seed: u64) {
+        self.filter.set_cycle(epoch);
+        self.filter.reseed(seed);
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.filter.reseed(seed);
     }
 }
 

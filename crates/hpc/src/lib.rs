@@ -14,6 +14,8 @@
 //!   (Fig. 9), and the EnSF weak-scaling model (Fig. 10).
 //! - [`mpi`] — a simulated MPI world (threads + channels) used to run the
 //!   EnSF rank decomposition for real at laptop scale.
+//! - [`resilience`] — retry-with-backoff and ULFM-style shrink for the
+//!   simulated collectives, with failure counters through telemetry.
 //!
 //! Absolute times are model outputs, not measurements; the *shapes*
 //! (who wins, crossovers, efficiency trends) are the reproduction target —
@@ -27,11 +29,15 @@
 pub mod collective;
 pub mod gemm_model;
 pub mod mpi;
+pub mod resilience;
 pub mod simulate;
 mod strategy;
 mod topology;
 
 pub use collective::{bus_bandwidth, collective_time, Collective};
+pub use resilience::{
+    collective_with_retry, CollectiveError, RankFault, RetriedCollective, RetryPolicy,
+};
 pub use gemm_model::{achieved_flops, fig6_heatmap, KernelShape, GCD_PEAK_FLOPS};
 pub use simulate::{
     ensf_step_time, is_realtime, scaling_curve, simulate_step, workflow_cycle_time, EnsfJob,

@@ -181,6 +181,13 @@ pub trait Buf {
     /// Panics if fewer than `dst.len()` bytes remain.
     fn copy_to_slice(&mut self, dst: &mut [u8]);
 
+    /// Reads a single byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
     /// Reads a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];
@@ -248,6 +255,11 @@ pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
 
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
@@ -288,12 +300,14 @@ mod tests {
     #[test]
     fn round_trip_all_widths() {
         let mut b = BytesMut::with_capacity(32);
+        b.put_u8(0x7F);
         b.put_u32_le(0xDEAD_BEEF);
         b.put_u64_le(42);
         b.put_f32_le(1.5);
         b.put_f64_le(-2.25);
         let mut frozen = b.freeze();
-        assert_eq!(frozen.remaining(), 4 + 8 + 4 + 8);
+        assert_eq!(frozen.remaining(), 1 + 4 + 8 + 4 + 8);
+        assert_eq!(frozen.get_u8(), 0x7F);
         assert_eq!(frozen.get_u32_le(), 0xDEAD_BEEF);
         assert_eq!(frozen.get_u64_le(), 42);
         assert_eq!(frozen.get_f32_le(), 1.5);

@@ -97,15 +97,21 @@ impl Trajectory {
         if n == 0 || !(interval_hours > 0.0) {
             return Err(TrajectoryError::BadHeader);
         }
-        let dim = 2 * n * n;
-        if buf.remaining() < count.saturating_mul(dim) * 8 {
+        // Saturating throughout: a corrupted n or count must fail the
+        // length check, not overflow into a tiny allocation request.
+        let dim = 2usize.saturating_mul(n).saturating_mul(n);
+        if buf.remaining() < count.saturating_mul(dim).saturating_mul(8) {
             return Err(TrajectoryError::Truncated);
         }
         let mut snapshots = Vec::with_capacity(count);
-        for _ in 0..count {
+        for s in 0..count {
             let mut snap = Vec::with_capacity(dim);
             for _ in 0..dim {
-                snap.push(buf.get_f64_le());
+                let v = buf.get_f64_le();
+                if !v.is_finite() {
+                    return Err(TrajectoryError::NonFinite { snapshot: s });
+                }
+                snap.push(v);
             }
             snapshots.push(snap);
         }
@@ -137,6 +143,11 @@ pub enum TrajectoryError {
     BadVersion(u32),
     /// Nonsensical header fields.
     BadHeader,
+    /// A snapshot carries NaN/inf values (corrupt payload).
+    NonFinite {
+        /// Index of the first offending snapshot.
+        snapshot: usize,
+    },
 }
 
 impl std::fmt::Display for TrajectoryError {
@@ -146,6 +157,9 @@ impl std::fmt::Display for TrajectoryError {
             TrajectoryError::BadMagic => write!(f, "not an SQG trajectory"),
             TrajectoryError::BadVersion(v) => write!(f, "unsupported trajectory version {v}"),
             TrajectoryError::BadHeader => write!(f, "invalid trajectory header"),
+            TrajectoryError::NonFinite { snapshot } => {
+                write!(f, "trajectory snapshot {snapshot} contains NaN/inf values")
+            }
         }
     }
 }
@@ -221,6 +235,20 @@ mod tests {
         let back = Trajectory::from_bytes(&t.to_bytes()).unwrap();
         assert!(back.is_empty());
         assert_eq!(back.duration_hours(), 0.0);
+    }
+
+    #[test]
+    fn nan_payload_rejected() {
+        let t = sample_trajectory();
+        let mut raw = t.to_bytes().to_vec();
+        // Poison one value of snapshot 1 with a NaN bit pattern.
+        let dim = 2 * 8 * 8;
+        let off = 32 + (dim + 3) * 8;
+        raw[off..off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(
+            Trajectory::from_bytes(&Bytes::from(raw)),
+            Err(TrajectoryError::NonFinite { snapshot: 1 })
+        );
     }
 
     #[test]

@@ -73,9 +73,12 @@ impl Ensemble {
         &mut self.data
     }
 
-    /// Ensemble mean vector.
+    /// Ensemble mean vector (all zeros for an empty ensemble).
     pub fn mean(&self) -> Vec<f64> {
         let m = self.members();
+        if m == 0 {
+            return vec![0.0; self.dim];
+        }
         let mut out = vec![0.0; self.dim];
         for member in self.iter() {
             for (o, x) in out.iter_mut().zip(member) {
@@ -90,9 +93,15 @@ impl Ensemble {
     }
 
     /// Per-variable ensemble variance (unbiased, divides by `M - 1`).
+    ///
+    /// Degenerate ensembles (`M < 2`) carry no sampled spread: the variance
+    /// is defined as all zeros rather than panicking or dividing by zero,
+    /// so health checks on collapsed/quarantined ensembles stay total.
     pub fn variance(&self) -> Vec<f64> {
         let m = self.members();
-        assert!(m >= 2, "variance needs at least two members");
+        if m < 2 {
+            return vec![0.0; self.dim];
+        }
         let mean = self.mean();
         let mut var = vec![0.0; self.dim];
         for member in self.iter() {
@@ -109,8 +118,12 @@ impl Ensemble {
     }
 
     /// Scalar ensemble spread: sqrt of the mean of the per-variable variances.
-    /// This is the quantity RTPS inflation relaxes.
+    /// This is the quantity RTPS inflation relaxes. Zero for degenerate
+    /// ensembles (`M < 2` or zero-dimensional states).
     pub fn spread(&self) -> f64 {
+        if self.dim == 0 {
+            return 0.0;
+        }
         let var = self.variance();
         (var.iter().sum::<f64>() / self.dim as f64).sqrt()
     }
@@ -222,6 +235,24 @@ mod tests {
     #[should_panic]
     fn empty_ensemble_rejected() {
         let _ = Ensemble::from_members(&[]);
+    }
+
+    #[test]
+    fn degenerate_ensembles_have_defined_statistics() {
+        // M = 1: no sampled spread, but no panic / NaN either.
+        let single = Ensemble::from_members(&[vec![1.0, -2.0]]);
+        assert_eq!(single.mean(), vec![1.0, -2.0]);
+        assert_eq!(single.variance(), vec![0.0, 0.0]);
+        assert_eq!(single.spread(), 0.0);
+        // M = 0 (constructed via zeros): everything zero and finite.
+        let empty = Ensemble::zeros(0, 3);
+        assert_eq!(empty.members(), 0);
+        assert_eq!(empty.mean(), vec![0.0; 3]);
+        assert_eq!(empty.variance(), vec![0.0; 3]);
+        assert!(empty.spread().is_finite());
+        // dim = 0: spread must not divide 0/0.
+        let flat = Ensemble::zeros(4, 0);
+        assert_eq!(flat.spread(), 0.0);
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub struct CycleRecord {
     /// `(phase name, wall-clock seconds)` pairs, e.g.
     /// `[("forecast", 0.12), ("analysis", 0.05)]`.
     pub phases: Vec<(String, f64)>,
+    /// Resilience events raised during the cycle, e.g.
+    /// `["member_quarantined:3", "analysis_retry:1"]` (empty when healthy).
+    pub events: Vec<String>,
 }
 
 impl CycleRecord {
@@ -49,6 +52,10 @@ impl CycleRecord {
                     self.phases.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect(),
                 ),
             ),
+            (
+                "events",
+                Json::Arr(self.events.iter().map(|e| Json::from(e.as_str())).collect()),
+            ),
         ])
     }
 
@@ -64,6 +71,15 @@ impl CycleRecord {
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err("missing phases".into()),
         };
+        // `events` is absent in records written before the resilience layer.
+        let events = match v.get("events") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|e| e.as_str().map(str::to_string).ok_or("non-string event"))
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err("events must be an array".into()),
+            None => Vec::new(),
+        };
         Ok(CycleRecord {
             label: v
                 .get("label")
@@ -76,6 +92,7 @@ impl CycleRecord {
             spread: f("spread")?,
             obs_count: f("obs_count")? as usize,
             phases,
+            events,
         })
     }
 }
@@ -167,7 +184,18 @@ mod tests {
             spread: 0.08,
             obs_count: 128,
             phases: vec![("forecast".into(), 0.012), ("analysis".into(), 0.034)],
+            events: if cycle % 2 == 1 { vec![format!("member_quarantined:{cycle}")] } else { Vec::new() },
         }
+    }
+
+    #[test]
+    fn legacy_records_without_events_parse() {
+        // Records written before the resilience layer carry no `events` key.
+        let legacy = "{\"label\":\"EnSF\",\"cycle\":0,\"hours\":0,\"rmse\":0.1,\
+                      \"spread\":0.08,\"obs_count\":4,\"phases\":{\"analysis\":0.01}}\n";
+        let recs = parse_jsonl(legacy).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].events.is_empty());
     }
 
     #[test]

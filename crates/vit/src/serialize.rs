@@ -42,6 +42,11 @@ pub enum LoadError {
         /// Index of the offending tensor (or count mismatch at `usize::MAX`).
         tensor: usize,
     },
+    /// A tensor carries NaN/inf weights (corrupt payload).
+    NonFinite {
+        /// Index of the first offending tensor.
+        tensor: usize,
+    },
 }
 
 impl std::fmt::Display for LoadError {
@@ -52,6 +57,9 @@ impl std::fmt::Display for LoadError {
             LoadError::BadVersion(v) => write!(f, "unsupported weight version {v}"),
             LoadError::ShapeMismatch { tensor } => {
                 write!(f, "weight shape mismatch at tensor {tensor}")
+            }
+            LoadError::NonFinite { tensor } => {
+                write!(f, "tensor {tensor} contains NaN/inf weights")
             }
         }
     }
@@ -75,9 +83,9 @@ pub fn load_weights(model: &mut SqgVit, bytes: &Bytes) -> Result<(), LoadError> 
     }
     let count = buf.get_u32_le() as usize;
 
-    // First pass: read everything (validating framing).
+    // First pass: read everything (validating framing and finiteness).
     let mut tensors: Vec<Vec<f32>> = Vec::with_capacity(count);
-    for _ in 0..count {
+    for i in 0..count {
         if buf.remaining() < 4 {
             return Err(LoadError::Truncated);
         }
@@ -87,7 +95,11 @@ pub fn load_weights(model: &mut SqgVit, bytes: &Bytes) -> Result<(), LoadError> 
         }
         let mut t = Vec::with_capacity(len);
         for _ in 0..len {
-            t.push(buf.get_f32_le());
+            let v = buf.get_f32_le();
+            if !v.is_finite() {
+                return Err(LoadError::NonFinite { tensor: i });
+            }
+            t.push(v);
         }
         tensors.push(t);
     }
@@ -177,6 +189,21 @@ mod tests {
             load_weights(&mut bigger, &blob),
             Err(LoadError::ShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn nan_weights_rejected_without_partial_load() {
+        let mut m = tiny();
+        let img: Vec<f32> = (0..128).map(|i| (i as f32 * 0.1).sin()).collect();
+        let before = m.predict(&img);
+        let mut raw = save_weights(&mut m).to_vec();
+        // First tensor value sits right after magic/version/count/len.
+        raw[16..20].copy_from_slice(&f32::NAN.to_le_bytes());
+        assert_eq!(
+            load_weights(&mut m, &Bytes::from(raw)),
+            Err(LoadError::NonFinite { tensor: 0 })
+        );
+        assert_eq!(m.predict(&img), before, "model must be untouched on failure");
     }
 
     #[test]

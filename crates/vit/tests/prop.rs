@@ -98,3 +98,48 @@ proptest! {
         prop_assert!((many / one - (images * epochs) as f64).abs() < 1e-6 * (images * epochs) as f64);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Weight loading is total under truncation: every strict prefix of a
+    /// valid weight buffer errors cleanly, and the target model's
+    /// parameters are left untouched.
+    #[test]
+    fn load_weights_truncation_rejected_without_partial_load(frac in 0.0f64..1.0) {
+        let mut src = SqgVit::new(tiny_config(), 7);
+        let full = vit::save_weights(&mut src);
+        let cut = ((full.len() as f64) * frac) as usize;
+        prop_assume!(cut < full.len());
+        let prefix = bytes::Bytes::from(full[..cut].to_vec());
+
+        let mut dst = SqgVit::new(tiny_config(), 99);
+        let x = vec![0.1f32; 2 * 8 * 8];
+        let before = dst.predict(&x);
+        prop_assert!(vit::load_weights(&mut dst, &prefix).is_err());
+        prop_assert_eq!(dst.predict(&x), before, "failed load must not mutate the model");
+    }
+
+    /// Arbitrary byte corruption never panics and never half-loads: the
+    /// result is either a clean error (model untouched) or a fully valid
+    /// weight set.
+    #[test]
+    fn load_weights_corruption_is_total(
+        pos in 12usize..4096,
+        flip in 1u8..=255,
+    ) {
+        let mut src = SqgVit::new(tiny_config(), 7);
+        let full = vit::save_weights(&mut src);
+        prop_assume!(pos < full.len());
+        let mut raw = full.to_vec();
+        raw[pos] ^= flip;
+
+        let mut dst = SqgVit::new(tiny_config(), 99);
+        let x = vec![0.1f32; 2 * 8 * 8];
+        let before = dst.predict(&x);
+        match vit::load_weights(&mut dst, &bytes::Bytes::from(raw)) {
+            Err(_) => prop_assert_eq!(dst.predict(&x), before),
+            Ok(()) => prop_assert!(dst.predict(&x).iter().all(|v| v.is_finite())),
+        }
+    }
+}

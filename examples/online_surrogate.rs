@@ -40,6 +40,7 @@ fn main() {
             config.osse.obs_sigma,
         );
         run_experiment(label, &config.osse, &nature, &mut surrogate, &mut scheme)
+            .expect("online-surrogate OSSE is well-formed")
     };
 
     let frozen = run("ViT+EnSF (frozen)", 0);

@@ -82,6 +82,7 @@ fn main() {
                     ("forecast".to_string(), forecast_secs.unwrap_or(0.0)),
                     ("analysis".to_string(), analysis_secs.unwrap_or(0.0)),
                 ],
+                events: Vec::new(),
             });
         }
     }

@@ -45,7 +45,8 @@ fn main() {
             stride,
         );
         let letkf =
-            run_experiment("letkf", &cfg, &nature, &mut letkf_model, &mut letkf_scheme);
+            run_experiment("letkf", &cfg, &nature, &mut letkf_model, &mut letkf_scheme)
+                .expect("sparse-network OSSE is well-formed");
 
         let mut ensf_model = SqgForecast::perfect(cfg.params.clone());
         let mut ensf_scheme = SparseEnsfScheme::new(
@@ -54,7 +55,8 @@ fn main() {
             stride,
             cfg.obs_sigma,
         );
-        let ensf = run_experiment("ensf", &cfg, &nature, &mut ensf_model, &mut ensf_scheme);
+        let ensf = run_experiment("ensf", &cfg, &nature, &mut ensf_model, &mut ensf_scheme)
+            .expect("sparse-network OSSE is well-formed");
 
         println!(
             "{:>8} {:>9.0}% {:>14.5} {:>14.5}",

@@ -1,0 +1,230 @@
+//! Chaos testing: the supervised OSSE loop under a hostile fault script.
+//!
+//! One end-to-end scenario per acceptance criterion: a chaos run that
+//! must complete every cycle and still beat the free run, a
+//! checkpoint → kill → restore round trip through a real file that must
+//! be bit-identical, and a corrupted checkpoint that must be rejected.
+
+use sqg_da::da_core::osse::{nature_run, run_experiment, OsseConfig};
+use sqg_da::da_core::resilience::{
+    resume_supervised, run_supervised, AnalysisFault, Checkpoint, CheckpointConfig,
+    CheckpointError, FaultPlan, HealthPolicy, LoopState, MemberFault, MemberFaultKind,
+    ObsFault, ResilienceConfig,
+};
+use sqg_da::da_core::{EnsfScheme, LetkfScheme, NoAssimilation, SqgForecast};
+use sqg_da::ensf::EnsfConfig;
+use sqg_da::letkf::LetkfConfig;
+use sqg_da::sqg::SqgParams;
+
+fn chaos_config(cycles: usize, seed: u64) -> OsseConfig {
+    OsseConfig {
+        params: SqgParams { n: 16, ekman: 0.05, ..Default::default() },
+        cycles,
+        obs_sigma: 0.005,
+        ens_size: 10,
+        ic_sigma: 0.01,
+        spinup_steps: 60,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn ensf_scheme(cfg: &OsseConfig, dim: usize) -> EnsfScheme {
+    EnsfScheme::new(
+        EnsfConfig { n_steps: 20, seed: cfg.seed ^ 0xE45F, ..Default::default() },
+        dim,
+        cfg.obs_sigma,
+    )
+}
+
+/// Everything at once: NaN'd and blown-up members, a dropped observation
+/// batch, a thinned network, and an EnSF outage deep enough to exhaust the
+/// retry budget and hit the LETKF fallback. The run must finish every
+/// cycle, leave a recovery trail in telemetry, and still assimilate well
+/// enough to beat a free (no-DA) run.
+#[test]
+fn chaos_run_completes_and_beats_free_run() {
+    let cfg = chaos_config(16, 23);
+    let nr = nature_run(&cfg);
+    let dim = nr.truth[0].len();
+
+    let res = ResilienceConfig {
+        plan: FaultPlan {
+            member_faults: vec![
+                MemberFault { cycle: 2, member: 3, kind: MemberFaultKind::Nan },
+                MemberFault { cycle: 2, member: 7, kind: MemberFaultKind::Nan },
+                MemberFault { cycle: 9, member: 1, kind: MemberFaultKind::Corrupt { scale: 1e9 } },
+            ],
+            obs_faults: vec![(4, ObsFault::Drop), (11, ObsFault::Thin { stride: 4 })],
+            analysis_faults: vec![AnalysisFault { cycle: 6, failures: 9 }],
+            kill_after: None,
+        },
+        // EnSF's equilibrium spread at this scale sits near the default
+        // 0.1σ floor; loosen it so only scripted faults trip guardrails.
+        health: Some(HealthPolicy {
+            spread_floor: 0.02 * cfg.obs_sigma,
+            ..HealthPolicy::for_obs_sigma(cfg.obs_sigma)
+        }),
+        ..Default::default()
+    };
+
+    telemetry::set_enabled(true);
+    let mut model = SqgForecast::perfect(cfg.params.clone());
+    let mut scheme = ensf_scheme(&cfg, dim);
+    let mut fallback = LetkfScheme::new(LetkfConfig::default(), &cfg.params, cfg.obs_sigma);
+    let run = run_supervised(
+        "chaos",
+        &cfg,
+        &res,
+        &nr,
+        &mut model,
+        &mut scheme,
+        Some(&mut fallback),
+    )
+    .unwrap();
+    telemetry::set_enabled(false);
+
+    // Every cycle completed despite the fault script.
+    assert!(!run.interrupted);
+    assert_eq!(run.cycles.len(), cfg.cycles);
+    assert_eq!(run.series.rmse.len(), cfg.cycles);
+    assert!(run.series.rmse.iter().all(|v| v.is_finite()));
+
+    // Each scripted fault left its recovery action in the counters.
+    assert_eq!(run.counters.quarantined_members, 3);
+    assert_eq!(run.counters.degraded_cycles, 1, "dropped obs ⇒ one forecast-only cycle");
+    assert_eq!(run.counters.analysis_retries, 2, "retry budget spent before fallback");
+    assert_eq!(run.counters.analysis_fallbacks, 1);
+
+    // The state machine visited Degraded and climbed back out of it. (It
+    // need not end Healthy: EnSF itself intermittently collapses the
+    // ensemble at this scale, and the spread guardrail keeps repairing it.)
+    assert_eq!(run.cycles[2].state, LoopState::Degraded);
+    assert!(run.cycles.iter().any(|c| c.state == LoopState::Recovering));
+    assert!(run.counters.reinflations >= 1, "collapse repair must have fired");
+
+    // The recovery trail is visible in telemetry, not just return values.
+    let records: Vec<_> =
+        telemetry::cycle_records().into_iter().filter(|r| r.label == "chaos").collect();
+    assert_eq!(records.len(), cfg.cycles);
+    let all_events: Vec<String> =
+        records.iter().flat_map(|r| r.events.iter().cloned()).collect();
+    assert!(all_events.iter().any(|e| e.starts_with("member_quarantined:")));
+    assert!(all_events.iter().any(|e| e == "obs_dropped"));
+    assert!(all_events.iter().any(|e| e == "obs_thinned:4"));
+    assert!(all_events.iter().any(|e| e == "analysis_fallback:LETKF"));
+    assert!(telemetry::counter_value("resilience.member_quarantined") >= 3);
+
+    // Despite the chaos, assimilation still beats running the model free.
+    let mut free_model = SqgForecast::perfect(cfg.params.clone());
+    let mut free_scheme = NoAssimilation;
+    let free = run_experiment("free", &cfg, &nr, &mut free_model, &mut free_scheme).unwrap();
+    assert!(
+        run.series.steady_rmse() < free.steady_rmse(),
+        "chaos DA {} must beat free run {}",
+        run.series.steady_rmse(),
+        free.steady_rmse()
+    );
+}
+
+/// Kill the loop mid-run with checkpointing to a real file, restore from
+/// that file in a fresh process state, and require the finished series and
+/// final ensemble to match an uninterrupted run bit for bit.
+#[test]
+fn checkpoint_kill_restore_is_bit_identical() {
+    let cfg = chaos_config(8, 31);
+    let nr = nature_run(&cfg);
+    let dim = nr.truth[0].len();
+    let path = std::env::temp_dir().join("sqg_da_chaos_ckpt.bin");
+
+    // Reference: the same fault plan minus the kill, run to completion.
+    let plan = FaultPlan {
+        member_faults: vec![MemberFault { cycle: 1, member: 0, kind: MemberFaultKind::Nan }],
+        ..FaultPlan::none()
+    };
+    let mut m_ref = SqgForecast::perfect(cfg.params.clone());
+    let mut s_ref = ensf_scheme(&cfg, dim);
+    let full = run_supervised(
+        "ref",
+        &cfg,
+        &ResilienceConfig { plan: plan.clone(), ..Default::default() },
+        &nr,
+        &mut m_ref,
+        &mut s_ref,
+        None,
+    )
+    .unwrap();
+
+    // Same plan, killed after cycle 4, checkpointing through the file.
+    let res_kill = ResilienceConfig {
+        plan: FaultPlan { kill_after: Some(4), ..plan.clone() },
+        checkpoint: Some(CheckpointConfig { path: path.clone(), every: 2 }),
+        ..Default::default()
+    };
+    let mut m1 = SqgForecast::perfect(cfg.params.clone());
+    let mut s1 = ensf_scheme(&cfg, dim);
+    let killed = run_supervised("kill", &cfg, &res_kill, &nr, &mut m1, &mut s1, None).unwrap();
+    assert!(killed.interrupted);
+    assert_eq!(killed.checkpoint.cycle, 4);
+
+    // Restore from disk — fresh model, fresh scheme, nothing carried over.
+    let ck = Checkpoint::load(&path).unwrap();
+    assert_eq!(ck.cycle, 4);
+    let mut m2 = SqgForecast::perfect(cfg.params.clone());
+    let mut s2 = ensf_scheme(&cfg, dim);
+    let resumed = resume_supervised(
+        "resume",
+        &cfg,
+        &ResilienceConfig { plan, ..Default::default() },
+        &nr,
+        &mut m2,
+        &mut s2,
+        None,
+        ck,
+    )
+    .unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert!(!resumed.interrupted);
+    assert_eq!(resumed.series.rmse, full.series.rmse, "file round trip must be bit-identical");
+    assert_eq!(resumed.series.spread, full.series.spread);
+    assert_eq!(
+        resumed.checkpoint.ensemble.as_slice(),
+        full.checkpoint.ensemble.as_slice(),
+        "final ensembles must match bit for bit"
+    );
+    assert_eq!(resumed.counters, full.counters);
+}
+
+/// A checkpoint that was damaged on disk must be rejected up front, never
+/// fed into the cycling loop.
+#[test]
+fn corrupted_checkpoint_file_is_rejected() {
+    let cfg = chaos_config(4, 41);
+    let nr = nature_run(&cfg);
+    let dim = nr.truth[0].len();
+    let path = std::env::temp_dir().join("sqg_da_chaos_bad_ckpt.bin");
+
+    let res = ResilienceConfig {
+        plan: FaultPlan { kill_after: Some(2), ..FaultPlan::none() },
+        checkpoint: Some(CheckpointConfig { path: path.clone(), every: 0 }),
+        ..Default::default()
+    };
+    let mut model = SqgForecast::perfect(cfg.params.clone());
+    let mut scheme = ensf_scheme(&cfg, dim);
+    run_supervised("victim", &cfg, &res, &nr, &mut model, &mut scheme, None).unwrap();
+
+    // Bit-rot in the ensemble payload: a NaN where a state value was.
+    let mut raw = std::fs::read(&path).unwrap();
+    raw[49..57].copy_from_slice(&f64::NAN.to_le_bytes());
+    std::fs::write(&path, &raw).unwrap();
+    let err = Checkpoint::load(&path).unwrap_err();
+    std::fs::remove_file(&path).ok();
+    assert!(matches!(err, CheckpointError::NonFinite { .. }), "got {err:?}");
+
+    // A missing file is an I/O error, not a panic.
+    assert!(matches!(
+        Checkpoint::load(std::path::Path::new("/nonexistent/ckpt.bin")),
+        Err(CheckpointError::Io(_))
+    ));
+}

@@ -61,7 +61,7 @@ fn ensf_physics_long_cycling_is_stable() {
         cfg.params.state_dim(),
         cfg.obs_sigma,
     );
-    let series = run_experiment("ensf", &cfg, &nr, &mut model, &mut scheme);
+    let series = run_experiment("ensf", &cfg, &nr, &mut model, &mut scheme).unwrap();
     // Error must not blow up: last-5-cycle average below the climatological
     // scale of the field.
     let tail: f64 = series.rmse[15..].iter().sum::<f64>() / 5.0;
@@ -73,7 +73,8 @@ fn ensf_physics_long_cycling_is_stable() {
     // And below the free-run error at the same horizon.
     let mut free_model = SqgForecast::perfect(cfg.params.clone());
     let mut free = NoAssimilation;
-    let free_series = run_experiment("free", &cfg, &nr, &mut free_model, &mut free);
+    let free_series =
+        run_experiment("free", &cfg, &nr, &mut free_model, &mut free).unwrap();
     assert!(series.steady_rmse() < free_series.steady_rmse());
 }
 
@@ -88,7 +89,7 @@ fn letkf_physics_long_cycling_is_stable() {
         &cfg.params,
         cfg.obs_sigma,
     );
-    let series = run_experiment("letkf", &cfg, &nr, &mut model, &mut scheme);
+    let series = run_experiment("letkf", &cfg, &nr, &mut model, &mut scheme).unwrap();
     let tail: f64 = series.rmse[15..].iter().sum::<f64>() / 5.0;
     assert!(tail < nr.climatology_sd, "LETKF diverged: {tail}");
 }
@@ -109,6 +110,7 @@ fn model_error_hurts_letkf_more_than_ensf() {
             cfg.obs_sigma,
         );
         let letkf = run_experiment("letkf", &cfg, nature, &mut m1, &mut letkf_scheme)
+            .unwrap()
             .steady_rmse();
         let mut m2 = SqgForecast::perfect(cfg.params.clone());
         let mut ensf_scheme = EnsfScheme::new(
@@ -117,7 +119,9 @@ fn model_error_hurts_letkf_more_than_ensf() {
             cfg.obs_sigma,
         );
         let ensf =
-            run_experiment("ensf", &cfg, nature, &mut m2, &mut ensf_scheme).steady_rmse();
+            run_experiment("ensf", &cfg, nature, &mut m2, &mut ensf_scheme)
+                .unwrap()
+                .steady_rmse();
         (letkf, ensf)
     };
 
