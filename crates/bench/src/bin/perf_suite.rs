@@ -1,0 +1,227 @@
+//! Performance suite for the batched EnSF kernel and the FFT plan cache.
+//!
+//! Measures (medians over repeated runs):
+//!
+//! * EnSF analysis wall time, reference vs batched kernel, across several
+//!   (particles, members, dim) shapes including the paper-scale
+//!   `P=20, M=20, d=8192` with 100 reverse-SDE steps;
+//! * SQG RK4 step time (plan-cached, scratch-hoisted hot path) and the
+//!   state-vector spectral roundtrip with cached vs freshly built plans;
+//! * raw GEMM throughput of the two kernels the batched score rides on.
+//!
+//! Writes a machine-readable report to `BENCH_perf.json` (override with
+//! `--out <path>`); `--quick` shrinks shapes and repetitions for CI.
+//!
+//! Run: `cargo run --release -p bench --bin perf_suite`
+
+use bench::{header, Json};
+use ensf::{Ensf, EnsfConfig, IdentityObs, ScoreKernel};
+use fft::{plan_cache, Complex, Direction, Fft2};
+use linalg::gemm::{matmul_abt_into, matmul_slices_into};
+use sqg::dynamics::Stepper;
+use sqg::SqgParams;
+use stats::gaussian::fill_standard_normal;
+use stats::rng::seeded;
+use stats::Ensemble;
+use std::time::Instant;
+
+/// Median wall time of `reps` runs of `f`, in seconds.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn forecast(members: usize, dim: usize, seed: u64) -> Ensemble {
+    let mut rng = seeded(seed);
+    let mut e = Ensemble::zeros(members, dim);
+    for m in 0..members {
+        fill_standard_normal(&mut rng, e.member_mut(m));
+    }
+    e
+}
+
+fn ensf_analysis_secs(
+    kernel: ScoreKernel,
+    fc: &Ensemble,
+    y: &[f64],
+    n_steps: usize,
+    reps: usize,
+) -> f64 {
+    let obs = IdentityObs::new(fc.dim(), 0.5);
+    median_secs(reps, || {
+        let mut f = Ensf::new(EnsfConfig { n_steps, seed: 9, kernel, ..Default::default() });
+        let an = f.analyze(fc, y, &obs);
+        assert!(an.as_slice()[0].is_finite());
+    })
+}
+
+fn bench_ensf(quick: bool, reps: usize) -> Json {
+    // (particles = members, dim, sde steps); the analysis couples P and M.
+    let shapes: &[(usize, usize, usize)] = if quick {
+        &[(8, 256, 20)]
+    } else {
+        &[(10, 1024, 50), (20, 4096, 100), (20, 8192, 100)]
+    };
+    let mut rows = Vec::new();
+    for &(members, dim, n_steps) in shapes {
+        let fc = forecast(members, dim, 1);
+        let y = vec![0.2; dim];
+        let reference = ensf_analysis_secs(ScoreKernel::Reference, &fc, &y, n_steps, reps);
+        let batched = ensf_analysis_secs(ScoreKernel::Batched, &fc, &y, n_steps, reps);
+        let speedup = reference / batched;
+        println!(
+            "ensf P=M={members:3} d={dim:5} steps={n_steps:3}:  reference {:.4}s  batched {:.4}s  speedup {speedup:.2}x",
+            reference, batched
+        );
+        rows.push(Json::obj(vec![
+            ("particles", Json::from(members as u64)),
+            ("members", Json::from(members as u64)),
+            ("dim", Json::from(dim as u64)),
+            ("n_steps", Json::from(n_steps as u64)),
+            ("reference_secs", Json::from(reference)),
+            ("batched_secs", Json::from(batched)),
+            ("speedup", Json::from(speedup)),
+        ]));
+    }
+    Json::Arr(rows)
+}
+
+fn bench_sqg(quick: bool, reps: usize) -> Json {
+    let n = if quick { 32 } else { 64 };
+    let params = SqgParams { n, ..Default::default() };
+    let state = sqg::init::random_large_scale(n, 0.05, 3);
+
+    // RK4 step on the plan-cached, scratch-hoisted hot path.
+    let mut stepper = Stepper::new(params.clone());
+    let mut theta = [state.level(0).to_vec(), state.level(1).to_vec()];
+    let step_secs = median_secs(reps, || {
+        let mut th = theta.clone();
+        for _ in 0..4 {
+            stepper.step(&mut th);
+        }
+        theta[0][0] = th[0][0]; // keep the work observable
+    });
+
+    // Spectral <-> grid roundtrip: cached plans vs building plans fresh
+    // each conversion (the pre-cache behavior of the state converters).
+    let grid = state.to_grid();
+    let roundtrip = |fwd: &Fft2, inv: &Fft2| {
+        let mut acc = 0.0;
+        for g in &grid {
+            let mut buf: Vec<Complex> = g.iter().map(|&x| Complex::from_re(x)).collect();
+            fwd.process(&mut buf);
+            inv.process(&mut buf);
+            acc += buf[0].re;
+        }
+        acc
+    };
+    let cached_secs = median_secs(reps, || {
+        let fwd = plan_cache::fft2(n, n, Direction::Forward);
+        let inv = plan_cache::fft2(n, n, Direction::Inverse);
+        std::hint::black_box(roundtrip(&fwd, &inv));
+    });
+    let fresh_secs = median_secs(reps, || {
+        let fwd = Fft2::new(n, n, Direction::Forward);
+        let inv = Fft2::new(n, n, Direction::Inverse);
+        std::hint::black_box(roundtrip(&fwd, &inv));
+    });
+    let (hits, misses) = plan_cache::stats();
+    println!(
+        "sqg n={n}: rk4 step {:.6}s  roundtrip cached {:.6}s / fresh {:.6}s ({:.2}x)  cache hits {hits} misses {misses}",
+        step_secs / 4.0,
+        cached_secs,
+        fresh_secs,
+        fresh_secs / cached_secs
+    );
+    Json::obj(vec![
+        ("n", Json::from(n as u64)),
+        ("rk4_step_secs", Json::from(step_secs / 4.0)),
+        ("roundtrip_cached_secs", Json::from(cached_secs)),
+        ("roundtrip_fresh_secs", Json::from(fresh_secs)),
+        ("plan_cache_speedup", Json::from(fresh_secs / cached_secs)),
+        ("plan_cache_hits", Json::from(hits)),
+        ("plan_cache_misses", Json::from(misses)),
+    ])
+}
+
+fn bench_gemm(quick: bool, reps: usize) -> Json {
+    let mut rng = seeded(3);
+
+    // Square product, the generic kernel (W X in the batched score).
+    let s = if quick { 64 } else { 256 };
+    let mut a = vec![0.0; s * s];
+    let mut b = vec![0.0; s * s];
+    let mut c = vec![0.0; s * s];
+    fill_standard_normal(&mut rng, &mut a);
+    fill_standard_normal(&mut rng, &mut b);
+    let sq_secs = median_secs(reps, || {
+        matmul_slices_into(&a, &b, s, s, s, &mut c);
+        std::hint::black_box(c[0]);
+    });
+    let sq_gflops = 2.0 * (s as f64).powi(3) / sq_secs / 1e9;
+
+    // Tall-skinny A Bᵀ, the Gram kernel (Z Xᵀ distances).
+    let (m, k) = if quick { (8, 1024) } else { (20, 8192) };
+    let mut za = vec![0.0; m * k];
+    let mut xb = vec![0.0; m * k];
+    let mut gram = vec![0.0; m * m];
+    fill_standard_normal(&mut rng, &mut za);
+    fill_standard_normal(&mut rng, &mut xb);
+    let abt_secs = median_secs(reps, || {
+        matmul_abt_into(&za, &xb, m, m, k, &mut gram);
+        std::hint::black_box(gram[0]);
+    });
+    let abt_gflops = 2.0 * (m * m * k) as f64 / abt_secs / 1e9;
+
+    println!(
+        "gemm: matmul {s}^3 {sq_gflops:.2} GF/s   abt {m}x{m}x{k} {abt_gflops:.2} GF/s"
+    );
+    Json::obj(vec![
+        ("matmul_size", Json::from(s as u64)),
+        ("matmul_gflops", Json::from(sq_gflops)),
+        ("abt_m", Json::from(m as u64)),
+        ("abt_k", Json::from(k as u64)),
+        ("abt_gflops", Json::from(abt_gflops)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let reps = if quick { 2 } else { 5 };
+
+    header(
+        "perf_suite",
+        "Batched EnSF kernel and FFT plan cache performance suite",
+    );
+
+    let ensf = bench_ensf(quick, reps);
+    let sqg = bench_sqg(quick, reps);
+    let gemm = bench_gemm(quick, reps);
+
+    let payload = Json::obj(vec![
+        ("id", Json::from("perf_suite")),
+        ("quick", Json::Bool(quick)),
+        ("reps", Json::from(reps as u64)),
+        (
+            "results",
+            Json::obj(vec![("ensf", ensf), ("sqg", sqg), ("gemm", gemm)]),
+        ),
+    ]);
+    telemetry::report::write_json(std::path::Path::new(&out), &payload)
+        .unwrap_or_else(|e| panic!("failed to write {out}: {e}"));
+    println!("perf report written to {out}");
+}

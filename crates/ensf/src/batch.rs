@@ -1,0 +1,432 @@
+//! Step-major, GEMM-batched EnSF analysis kernel.
+//!
+//! The reference path ([`crate::ScoreEstimator`]) evaluates the Monte-Carlo
+//! prior score one particle at a time: per reverse-SDE step it walks the
+//! forecast ensemble twice as strided dot products, re-multiplying every
+//! ensemble element by `α_t` along the way. This module inverts the loop
+//! nest to **step-major over a whole block of particles** and reformulates
+//! both ensemble sweeps as matrix products:
+//!
+//! 1. squared distances via the norm expansion
+//!    `‖z_i − α x_j‖² = ‖z_i‖² − 2α ⟨z_i, x_j⟩ + α² ‖x_j‖²`, with the Gram
+//!    block `Z Xᵀ` computed by [`linalg::gemm::matmul_abt_into`]'s 4x4
+//!    register-tiled kernel and the member norms `‖x_j‖²` hoisted out of
+//!    the SDE loop entirely (computed once per analysis);
+//! 2. a row-wise log-sum-exp softmax into weights `W` (P×M);
+//! 3. the weighted conditional score `S = (α W X − Z)/β²` as a second GEMM
+//!    plus one fused [`linalg::vector::scale_add`] pass.
+//!
+//! All reductions are fixed-order and per-output-element independent
+//! (single `k`-ascending chains), so the kernel is bitwise deterministic
+//! and invariant to how particles are partitioned into blocks — the same
+//! contract the reference path guarantees, which keeps
+//! [`crate::parallel::analyze_partitioned`]'s bitwise identity and the
+//! resilience layer's bit-identical checkpoint resume intact. Per-particle
+//! RNG streams are drawn in exactly the reference order (initial `N(0, I)`
+//! fill, then one normal per component per non-final step), so reference
+//! and batched kernels differ only by floating-point reassociation.
+//!
+//! All scratch lives in a caller-owned [`BatchScratch`]; after construction
+//! the inner SDE loop performs no heap allocation.
+
+use crate::filter::EnsfConfig;
+use crate::obs::ObservationOperator;
+use crate::schedule::DiffusionSchedule;
+use crate::sde::TimeGrid;
+use linalg::gemm::{matmul_abt_into, matmul_slices_affine_into, row_sq_norms, GemmScratch};
+use linalg::vector::{axpy, scale_add};
+use rand::Rng;
+use rayon::prelude::*;
+use stats::gaussian::{fill_standard_normal, NormalSampler};
+use stats::rng::member_rng;
+use stats::softmax::softmax_in_place;
+use stats::Ensemble;
+
+/// Batched Monte-Carlo prior-score evaluator.
+///
+/// Owns an index-ordered gather of the (mini-batched) forecast ensemble as
+/// a contiguous `J x d` block plus the per-member squared norms, both
+/// computed once per analysis and shared read-only by every particle block.
+pub struct BatchedScore {
+    /// Mini-batch members gathered contiguously, `J x d` row-major, in
+    /// batch order (matching the reference path's summation order).
+    gathered: Vec<f64>,
+    /// `‖x_j‖²` per gathered member.
+    xnorm: Vec<f64>,
+    batch_len: usize,
+    dim: usize,
+    schedule: DiffusionSchedule,
+}
+
+impl BatchedScore {
+    /// Gathers `batch` members (in the given order) out of the member-major
+    /// `ensemble` buffer and precomputes their squared norms.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch, an empty batch, or an out-of-range index.
+    pub fn new(
+        ensemble: &[f64],
+        members: usize,
+        dim: usize,
+        schedule: DiffusionSchedule,
+        batch: &[usize],
+    ) -> Self {
+        assert_eq!(ensemble.len(), members * dim, "ensemble buffer shape mismatch");
+        assert!(!batch.is_empty(), "mini-batch must be nonempty");
+        assert!(batch.iter().all(|&j| j < members), "batch index out of range");
+        let mut gathered = Vec::with_capacity(batch.len() * dim);
+        for &j in batch {
+            gathered.extend_from_slice(&ensemble[j * dim..(j + 1) * dim]);
+        }
+        let mut xnorm = vec![0.0; batch.len()];
+        row_sq_norms(&gathered, batch.len(), dim, &mut xnorm);
+        BatchedScore { gathered, xnorm, batch_len: batch.len(), dim, schedule }
+    }
+
+    /// Number of members in the Monte-Carlo batch.
+    pub fn batch_len(&self) -> usize {
+        self.batch_len
+    }
+
+    /// State dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Evaluates the prior score at pseudo-time `t` for all `b` particles
+    /// in `z` (`b x d` row-major) at once, writing into `out` (`b x d`).
+    ///
+    /// `weights` (`b x J`) and `znorm` (`b`) are scratch; `weights` holds
+    /// the normalized softmax weights on return.
+    pub fn score_block_into(
+        &self,
+        z: &[f64],
+        b: usize,
+        t: f64,
+        out: &mut [f64],
+        weights: &mut [f64],
+        znorm: &mut [f64],
+    ) {
+        let (j, d) = (self.batch_len, self.dim);
+        assert_eq!(z.len(), b * d);
+        assert_eq!(out.len(), b * d);
+        assert_eq!(weights.len(), b * j);
+        assert_eq!(znorm.len(), b);
+        let timer = telemetry::enabled().then(std::time::Instant::now);
+
+        let alpha = self.schedule.alpha(t);
+        let beta_sq = self.schedule.beta_sq(t);
+        let inv_2b2 = 0.5 / beta_sq;
+        let inv_b2 = 1.0 / beta_sq;
+        let alpha_sq = alpha * alpha;
+
+        // Distances via the norm expansion: the Gram block Z Xᵀ carries all
+        // the O(b·J·d) work; norms are O((b+J)·d) and ‖x_j‖² is hoisted.
+        row_sq_norms(z, b, d, znorm);
+        matmul_abt_into(z, &self.gathered, b, j, d, weights);
+        for (row, &zn) in weights.chunks_exact_mut(j).zip(znorm.iter()) {
+            for (w, &xn) in row.iter_mut().zip(&self.xnorm) {
+                *w = -(zn - 2.0 * alpha * *w + alpha_sq * xn) * inv_2b2;
+            }
+            softmax_in_place(row);
+        }
+
+        // Weighted conditional score: S = (α W X − Z) / β², with W X as the
+        // second GEMM and the affine part fused into its store epilogue.
+        matmul_slices_affine_into(weights, &self.gathered, b, j, d, z, alpha * inv_b2, -inv_b2, out);
+
+        if let Some(t0) = timer {
+            telemetry::histogram_record("ensf.score.secs", t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Caller-owned scratch for [`reverse_sde_assimilate_batched`].
+///
+/// Created once per analysis (per particle block); the reverse-SDE loop
+/// borrows the same five buffers each step and never allocates.
+pub struct BatchScratch {
+    buffers: GemmScratch,
+}
+
+impl BatchScratch {
+    /// Preallocates scratch for a block of `b` particles, a score batch of
+    /// `j` members and state dimension `dim`.
+    pub fn new(b: usize, j: usize, dim: usize) -> Self {
+        let mut buffers = GemmScratch::new();
+        // Prewarm so the SDE loop's borrows are allocation-free.
+        let _ = buffers.slices([b * dim, b * j, b, dim, dim]);
+        BatchScratch { buffers }
+    }
+}
+
+/// Batched counterpart of [`crate::reverse_sde_assimilate`]: integrates a
+/// whole block of particles through the reverse SDE step-major, evaluating
+/// the prior score for all of them at once via [`BatchedScore`].
+///
+/// * `z` — `rngs.len() x dim` row-major block; on entry each row is a
+///   sample of `N(0, I)`, on exit a posterior sample.
+/// * `rngs` — one RNG per particle, positioned exactly after the initial
+///   Gaussian fill (the reference stream contract).
+///
+/// Per particle this replicates [`crate::reverse_sde_assimilate`] operation
+/// for operation — exponential linear step, explicit prior score, final-step
+/// noise omission, damped likelihood pull — so the two paths agree to
+/// floating-point reassociation and draw identical noise.
+#[allow(clippy::too_many_arguments)]
+pub fn reverse_sde_assimilate_batched<R: Rng>(
+    z: &mut [f64],
+    schedule: &DiffusionSchedule,
+    n_steps: usize,
+    grid: TimeGrid,
+    score: &BatchedScore,
+    obs: &impl ObservationOperator,
+    y: &[f64],
+    rngs: &mut [R],
+    scratch: &mut BatchScratch,
+) {
+    let dim = score.dim();
+    let j = score.batch_len();
+    let b = rngs.len();
+    assert_eq!(z.len(), b * dim, "particle block shape mismatch");
+    let times = grid.points(schedule, n_steps);
+    telemetry::counter_add("ensf.sde.euler_steps", ((times.len() - 1) * b) as u64);
+    let sigma_obs_sq = obs.sigma() * obs.sigma();
+    // All five buffers live for the whole integration: the step loop below
+    // is allocation-free.
+    let [s, w, znorm, lik, jsq] = scratch.buffers.slices([b * dim, b * j, b, dim, dim]);
+    let sampler = NormalSampler::new();
+
+    for win in times.windows(2) {
+        let t = win[0];
+        let t_next = win[1];
+        let dt = t - t_next;
+        let sig2 = schedule.sigma_sq(t);
+        let sig = sig2.sqrt();
+
+        score.score_block_into(z, b, t, s, w, znorm);
+
+        let decay = schedule.alpha(t_next) / schedule.alpha(t);
+        let is_final = t_next <= 1e-300;
+        let noise_amp = if is_final { 0.0 } else { sig * dt.sqrt() };
+        let gain = sig2 * schedule.damping(t) * dt;
+        // When the observation Jacobian is a uniform constant, the damping
+        // factor is the same for every state element: compute it once per
+        // step (same arithmetic as the per-element branch below, so for
+        // constant-Jacobian operators the two paths agree bitwise).
+        let hoisted_factor = obs.constant_jacobian_sq().map(|jc| {
+            let c = gain * jc / sigma_obs_sq;
+            if c > 1e-8 {
+                (1.0 - (-c).exp()) / c
+            } else {
+                1.0
+            }
+        });
+
+        for (i, rng) in rngs.iter_mut().enumerate() {
+            let zrow = &mut z[i * dim..(i + 1) * dim];
+            let srow = &s[i * dim..(i + 1) * dim];
+            // Drift as one vectorized pass, then the serial noise stream
+            // (RNG call order per particle is the reference contract).
+            scale_add(zrow, decay, srow, sig2 * dt);
+            if noise_amp != 0.0 {
+                for zi in zrow.iter_mut() {
+                    *zi += noise_amp * sampler.sample(rng);
+                }
+            }
+            if gain > 0.0 {
+                obs.likelihood_score_into(zrow, y, gain, lik);
+                if let Some(factor) = hoisted_factor {
+                    axpy(factor, lik, zrow);
+                } else {
+                    obs.jacobian_sq(zrow, jsq);
+                    for ((zi, li), ji) in zrow.iter_mut().zip(&*lik).zip(&*jsq) {
+                        let c = gain * ji / sigma_obs_sq;
+                        let factor = if c > 1e-8 { (1.0 - (-c).exp()) / c } else { 1.0 };
+                        *zi += factor * li;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs the batched analysis over explicit particle blocks (one parallel
+/// task per block, sequential within a block — the rank-decomposition
+/// execution shape). Shared by [`crate::Ensf::analyze`] and
+/// [`crate::parallel::analyze_partitioned`]; spread relaxation is the
+/// caller's job.
+pub(crate) fn analyze_blocks(
+    config: &EnsfConfig,
+    cycle_seed: u64,
+    blocks: &[(usize, usize)],
+    forecast: &Ensemble,
+    y: &[f64],
+    obs: &impl ObservationOperator,
+    batch: &[usize],
+) -> Ensemble {
+    let members = forecast.members();
+    let dim = forecast.dim();
+    let score = BatchedScore::new(forecast.as_slice(), members, dim, config.schedule, batch);
+    let schedule = config.schedule;
+    let n_steps = config.n_steps;
+
+    let block_results: Vec<(usize, Vec<f64>)> = blocks
+        .par_iter()
+        .map(|&(start, end)| {
+            let b = end - start;
+            let mut block = vec![0.0; b * dim];
+            // RNG streams keyed by *global* particle index: the basis of the
+            // partition-invariance contract.
+            let mut rngs: Vec<_> = (start..end).map(|m| member_rng(cycle_seed, m)).collect();
+            for (row, rng) in block.chunks_exact_mut(dim).zip(rngs.iter_mut()) {
+                fill_standard_normal(rng, row);
+            }
+            let mut scratch = BatchScratch::new(b, score.batch_len(), dim);
+            reverse_sde_assimilate_batched(
+                &mut block,
+                &schedule,
+                n_steps,
+                TimeGrid::LogSpaced,
+                &score,
+                obs,
+                y,
+                &mut rngs,
+                &mut scratch,
+            );
+            (start, block)
+        })
+        .collect();
+
+    let mut analysis = Ensemble::zeros(members, dim);
+    for (start, block) in block_results {
+        for (local, row) in block.chunks_exact(dim).enumerate() {
+            analysis.member_mut(start + local).copy_from_slice(row);
+        }
+    }
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::IdentityObs;
+    use crate::score::ScoreEstimator;
+    use stats::gaussian::standard_normal;
+    use stats::rng::seeded;
+
+    fn gaussian_block(rows: usize, dim: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded(seed);
+        let mut v = vec![0.0; rows * dim];
+        fill_standard_normal(&mut rng, &mut v);
+        v
+    }
+
+    /// The batched score must match the reference estimator evaluation to
+    /// floating-point reassociation accuracy on every row.
+    #[test]
+    fn block_score_matches_reference_estimator()  {
+        let (members, dim, b) = (9, 17, 6);
+        let ens = gaussian_block(members, dim, 3);
+        let z = gaussian_block(b, dim, 4);
+        let sch = DiffusionSchedule::default();
+        let batch: Vec<usize> = (0..members).collect();
+        let batched = BatchedScore::new(&ens, members, dim, sch, &batch);
+        let reference = ScoreEstimator::new(&ens, members, dim, sch);
+
+        for t in [0.9, 0.5, 0.1, 0.01] {
+            let mut out = vec![0.0; b * dim];
+            let mut w = vec![0.0; b * members];
+            let mut zn = vec![0.0; b];
+            batched.score_block_into(&z, b, t, &mut out, &mut w, &mut zn);
+            for i in 0..b {
+                let want = reference.score(&z[i * dim..(i + 1) * dim], t);
+                for (g, wv) in out[i * dim..(i + 1) * dim].iter().zip(&want) {
+                    assert!(
+                        (g - wv).abs() < 1e-10 * (1.0 + wv.abs()),
+                        "t={t} row {i}: {g} vs {wv}"
+                    );
+                }
+            }
+            // Weights rows are normalized distributions.
+            for row in w.chunks_exact(members) {
+                let sum: f64 = row.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Block evaluation is bitwise invariant to how particles are grouped.
+    #[test]
+    fn block_score_is_partition_invariant() {
+        let (members, dim, b) = (7, 33, 10);
+        let ens = gaussian_block(members, dim, 8);
+        let z = gaussian_block(b, dim, 9);
+        let sch = DiffusionSchedule::default();
+        let batch: Vec<usize> = (0..members).collect();
+        let score = BatchedScore::new(&ens, members, dim, sch, &batch);
+
+        let mut full = vec![0.0; b * dim];
+        let mut w = vec![0.0; b * members];
+        let mut zn = vec![0.0; b];
+        score.score_block_into(&z, b, 0.3, &mut full, &mut w, &mut zn);
+
+        for split in 1..b {
+            for (lo, hi) in [(0, split), (split, b)] {
+                let rows = hi - lo;
+                let mut part = vec![0.0; rows * dim];
+                let mut wp = vec![0.0; rows * members];
+                let mut zp = vec![0.0; rows];
+                score.score_block_into(
+                    &z[lo * dim..hi * dim],
+                    rows,
+                    0.3,
+                    &mut part,
+                    &mut wp,
+                    &mut zp,
+                );
+                assert_eq!(part, full[lo * dim..hi * dim], "rows {lo}..{hi} diverged");
+            }
+        }
+    }
+
+    /// The batched integrator consumes RNG streams exactly like the
+    /// reference (init fill + one normal per component per non-final step).
+    #[test]
+    fn batched_sde_draws_reference_noise_stream() {
+        let (members, dim, b, n_steps) = (6, 5, 4, 12);
+        let ens = gaussian_block(members, dim, 21);
+        let sch = DiffusionSchedule::default();
+        let batch: Vec<usize> = (0..members).collect();
+        let score = BatchedScore::new(&ens, members, dim, sch, &batch);
+        let obs = IdentityObs::new(dim, 0.7);
+        let y = vec![0.2; dim];
+
+        let mut z = vec![0.0; b * dim];
+        let mut rngs: Vec<_> = (0..b).map(|m| member_rng(99, m)).collect();
+        for (row, rng) in z.chunks_exact_mut(dim).zip(rngs.iter_mut()) {
+            fill_standard_normal(rng, row);
+        }
+        let mut scratch = BatchScratch::new(b, members, dim);
+        reverse_sde_assimilate_batched(
+            &mut z, &sch, n_steps, TimeGrid::LogSpaced, &score, &obs, &y, &mut rngs, &mut scratch,
+        );
+
+        // After the run every stream must sit at the reference position:
+        // the next draw equals a fresh stream fast-forwarded by the same
+        // number of draws.
+        let times = TimeGrid::LogSpaced.points(&sch, n_steps);
+        let draws = dim + (times.len() - 2) * dim; // init + per non-final step
+        for (m, rng) in rngs.iter_mut().enumerate() {
+            let mut fresh = member_rng(99, m);
+            for _ in 0..draws {
+                standard_normal(&mut fresh);
+            }
+            assert_eq!(
+                standard_normal(rng).to_bits(),
+                standard_normal(&mut fresh).to_bits(),
+                "particle {m} consumed a different number of draws"
+            );
+        }
+    }
+}

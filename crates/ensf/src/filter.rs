@@ -25,6 +25,24 @@ use stats::gaussian::fill_standard_normal;
 use stats::rng::{member_rng, seeded, split_seed};
 use stats::Ensemble;
 
+/// Which implementation evaluates the Monte-Carlo score inside the
+/// reverse-SDE loop.
+///
+/// Both kernels are deterministic, partition-invariant and draw identical
+/// noise streams; they differ only by floating-point reassociation (the
+/// batched kernel computes distances via a GEMM norm expansion). `Batched`
+/// is the default; `Reference` is kept as the per-particle oracle for
+/// equivalence testing and ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoreKernel {
+    /// Per-particle strided dot products ([`crate::ScoreEstimator`]).
+    Reference,
+    /// Step-major two-GEMM evaluation over particle blocks
+    /// ([`crate::BatchedScore`]).
+    #[default]
+    Batched,
+}
+
 /// EnSF configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnsfConfig {
@@ -42,6 +60,8 @@ pub struct EnsfConfig {
     /// spread to the prior to guarantee long-term stability; `1.0`
     /// reproduces that choice.
     pub spread_relaxation: f64,
+    /// Score kernel implementation (batched GEMM by default).
+    pub kernel: ScoreKernel,
 }
 
 impl Default for EnsfConfig {
@@ -52,6 +72,7 @@ impl Default for EnsfConfig {
             schedule: DiffusionSchedule::default(),
             seed: 0,
             spread_relaxation: 1.0,
+            kernel: ScoreKernel::default(),
         }
     }
 }
@@ -143,41 +164,66 @@ impl Ensf {
             _ => (0..members).collect(),
         };
 
-        let estimator = ScoreEstimator::new(
-            forecast.as_slice(),
-            members,
-            dim,
-            self.config.schedule,
-        )
-        .with_batch(batch);
-
-        let schedule = self.config.schedule;
-        let n_steps = self.config.n_steps;
-
         // Each particle: fresh Gaussian start, reverse SDE with posterior
-        // score = prior score + damped likelihood score.
-        let mut analysis = Ensemble::zeros(members, dim);
-        analysis
-            .as_mut_slice()
-            .par_chunks_mut(dim)
-            .enumerate()
-            .for_each(|(m, out)| {
-                let mut rng = member_rng(cycle_seed, m);
-                fill_standard_normal(&mut rng, out);
-                let mut scratch = vec![0.0; estimator.batch_len()];
-                reverse_sde_assimilate(
-                    out,
-                    &schedule,
-                    n_steps,
-                    TimeGrid::LogSpaced,
-                    |z, t, s| {
-                        estimator.score_into(z, t, s, &mut scratch);
-                    },
-                    obs,
+        // score = prior score + damped likelihood score. The two kernels
+        // agree to floating-point reassociation; both derive per-particle
+        // RNG streams from the global member index.
+        let mut analysis = match self.config.kernel {
+            ScoreKernel::Batched => {
+                // One block per available worker; the kernel's fixed-order
+                // reductions make the result bitwise independent of the
+                // block layout, so this is purely a load-balancing choice.
+                let workers = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .clamp(1, members.max(1));
+                let plan = crate::parallel::RankPlan::new(members, workers);
+                crate::batch::analyze_blocks(
+                    &self.config,
+                    cycle_seed,
+                    &plan.blocks,
+                    forecast,
                     y,
-                    &mut rng,
-                );
-            });
+                    obs,
+                    &batch,
+                )
+            }
+            ScoreKernel::Reference => {
+                let estimator = ScoreEstimator::new(
+                    forecast.as_slice(),
+                    members,
+                    dim,
+                    self.config.schedule,
+                )
+                .with_batch(batch);
+
+                let schedule = self.config.schedule;
+                let n_steps = self.config.n_steps;
+                let mut analysis = Ensemble::zeros(members, dim);
+                analysis
+                    .as_mut_slice()
+                    .par_chunks_mut(dim)
+                    .enumerate()
+                    .for_each(|(m, out)| {
+                        let mut rng = member_rng(cycle_seed, m);
+                        fill_standard_normal(&mut rng, out);
+                        let mut scratch = vec![0.0; estimator.batch_len()];
+                        reverse_sde_assimilate(
+                            out,
+                            &schedule,
+                            n_steps,
+                            TimeGrid::LogSpaced,
+                            |z, t, s| {
+                                estimator.score_into(z, t, s, &mut scratch);
+                            },
+                            obs,
+                            y,
+                            &mut rng,
+                        );
+                    });
+                analysis
+            }
+        };
 
         if self.config.spread_relaxation > 0.0 {
             relax_spread(&mut analysis, forecast, self.config.spread_relaxation);
@@ -191,23 +237,45 @@ impl Ensf {
 }
 
 /// Relaxes the per-variable analysis spread toward the forecast spread:
-/// anomalies are rescaled so `σ_new = (1 − r) σ_a + r σ_f`.
-fn relax_spread(analysis: &mut Ensemble, forecast: &Ensemble, r: f64) {
+/// anomalies are rescaled so `σ_new = (1 − r) σ_a + r σ_f`. Shared with
+/// [`crate::parallel::analyze_partitioned`].
+///
+/// When a variable's analysis spread has (numerically) collapsed — tight
+/// observations can pull every member onto the observation to the last bit,
+/// leaving `σ_a` at rounding level — rescaling would amplify arbitrary
+/// round-off by `σ_f/σ_a` (or silently keep the collapse when `σ_a` is
+/// exactly zero). Such degenerate variables instead adopt the *forecast*
+/// anomalies scaled by `r`, which realizes the intended `σ_new ≈ r σ_f`
+/// deterministically and independently of which score kernel produced the
+/// (bit-level) collapse pattern.
+pub(crate) fn relax_spread(analysis: &mut Ensemble, forecast: &Ensemble, r: f64) {
+    /// `σ_a` below this fraction of `σ_f` is treated as fully collapsed.
+    const DEGENERATE: f64 = 1e-8;
     let dim = analysis.dim();
     let var_a = analysis.variance();
     let var_f = forecast.variance();
     let mean = analysis.mean();
+    let fmean = forecast.mean();
     let mut scale = vec![1.0; dim];
+    let mut degenerate = vec![false; dim];
     for i in 0..dim {
         let sa = var_a[i].sqrt();
         let sf = var_f[i].sqrt();
-        if sa > 1e-300 {
+        if sa > DEGENERATE * sf && sa > 1e-300 {
             scale[i] = ((1.0 - r) * sa + r * sf) / sa;
+        } else if sf > 1e-300 {
+            degenerate[i] = true;
         }
     }
-    for member in analysis.iter_mut() {
-        for ((x, mu), s) in member.iter_mut().zip(&mean).zip(&scale) {
-            *x = mu + (*x - mu) * s;
+    for m in 0..analysis.members() {
+        let fx = forecast.member(m);
+        let member = analysis.member_mut(m);
+        for (i, x) in member.iter_mut().enumerate() {
+            *x = if degenerate[i] {
+                mean[i] + r * (fx[i] - fmean[i])
+            } else {
+                mean[i] + (*x - mean[i]) * scale[i]
+            };
         }
     }
 }

@@ -16,6 +16,11 @@
 //!    with the paper's spread-relaxation stability safeguard.
 //! 5. [`parallel`] — the explicit rank decomposition used for the Fig. 10
 //!    weak-scaling study, bitwise-equivalent to the sequential filter.
+//! 6. [`batch`] — the step-major batched analysis kernel ([`BatchedScore`]):
+//!    per reverse-SDE step the score for a whole particle block is produced
+//!    by two GEMMs plus a row-wise softmax, selected via
+//!    [`EnsfConfig::kernel`] (the default). The per-particle path above is
+//!    kept as the oracle ([`ScoreKernel::Reference`]).
 //!
 //! ```
 //! use ensf::{Ensf, EnsfConfig, IdentityObs};
@@ -34,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 mod filter;
 mod obs;
 pub mod parallel;
@@ -41,7 +47,8 @@ mod schedule;
 mod score;
 mod sde;
 
-pub use filter::{Ensf, EnsfConfig};
+pub use batch::{reverse_sde_assimilate_batched, BatchScratch, BatchedScore};
+pub use filter::{Ensf, EnsfConfig, ScoreKernel};
 pub use obs::{ArctanObs, CubicObs, IdentityObs, ObservationOperator, StridedObs};
 pub use schedule::{Damping, DiffusionSchedule};
 pub use score::ScoreEstimator;

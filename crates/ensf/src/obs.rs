@@ -23,12 +23,34 @@ pub trait ObservationOperator: Sync {
     /// the damping factor in without a temporary.
     fn add_likelihood_score(&self, state: &[f64], y: &[f64], weight: f64, score_out: &mut [f64]);
 
+    /// Overwriting variant of [`add_likelihood_score`]
+    /// (Self::add_likelihood_score): writes the weighted score into
+    /// `score_out` directly. The default zeroes and delegates; dense
+    /// operators override to save the clearing pass in the per-step hot
+    /// loop. Must produce the same values as the default.
+    fn likelihood_score_into(&self, state: &[f64], y: &[f64], weight: f64, score_out: &mut [f64]) {
+        score_out.fill(0.0);
+        self.add_likelihood_score(state, y, weight, score_out);
+    }
+
     /// Writes the squared row norm of the observation Jacobian per state
     /// component, `out[i] = Σ_j (∂h_j/∂x_i)²`, used by the stabilized
     /// reverse-SDE integrator to bound the likelihood pull by its *local*
     /// stiffness. Default: 1 everywhere (identity-like operators).
     fn jacobian_sq(&self, _state: &[f64], out: &mut [f64]) {
         out.fill(1.0);
+    }
+
+    /// If [`jacobian_sq`](Self::jacobian_sq) is the same state-independent
+    /// constant for *every* component, that constant; otherwise `None`.
+    ///
+    /// Lets the batched reverse-SDE integrator compute the likelihood
+    /// damping factor once per step instead of one `exp` per state element.
+    /// Only return `Some` when `jacobian_sq` writes exactly this value into
+    /// every slot for every state — operators with per-component patterns
+    /// (e.g. strided masks) or state-dependent Jacobians must return `None`.
+    fn constant_jacobian_sq(&self) -> Option<f64> {
+        None
     }
 
     /// Log-likelihood `log p(y | x)` up to an additive constant.
@@ -76,6 +98,17 @@ impl ObservationOperator for IdentityObs {
         for ((s, x), yi) in score_out.iter_mut().zip(state).zip(y) {
             *s += w * (yi - x);
         }
+    }
+
+    fn likelihood_score_into(&self, state: &[f64], y: &[f64], weight: f64, score_out: &mut [f64]) {
+        let w = weight / (self.sigma * self.sigma);
+        for ((s, x), yi) in score_out.iter_mut().zip(state).zip(y) {
+            *s = w * (yi - x);
+        }
+    }
+
+    fn constant_jacobian_sq(&self) -> Option<f64> {
+        Some(1.0)
     }
 }
 
@@ -296,6 +329,43 @@ mod tests {
         assert!(s[0] != 0.0 && s[2] != 0.0);
         assert_eq!(s[1], 0.0);
         assert_eq!(s[3], 0.0);
+    }
+
+    #[test]
+    fn likelihood_score_into_matches_zeroed_add() {
+        // The overwriting variant must agree with fill(0) + add for every
+        // operator (IdentityObs overrides it; the rest use the default).
+        let x = [1.0, -2.0, 0.5, 3.0];
+        let y = [0.5, 0.5, 0.5, 0.5];
+        let ops: Vec<Box<dyn ObservationOperator>> = vec![
+            Box::new(IdentityObs::new(4, 0.7)),
+            Box::new(ArctanObs::new(4, 0.3)),
+            Box::new(CubicObs::new(4, 0.5, 10.0)),
+        ];
+        for op in &ops {
+            let mut via_add = vec![0.0; 4];
+            op.add_likelihood_score(&x, &y, 1.3, &mut via_add);
+            let mut via_into = vec![f64::NAN; 4]; // must overwrite, not read
+            op.likelihood_score_into(&x, &y, 1.3, &mut via_into);
+            for (a, b) in via_add.iter().zip(&via_into) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn constant_jacobian_sq_agrees_with_jacobian_sq() {
+        // Some(c) must mean jacobian_sq writes exactly c everywhere.
+        let x = [0.4, -1.1, 2.0];
+        let ident = IdentityObs::new(3, 1.0);
+        let c = ident.constant_jacobian_sq().unwrap();
+        let mut js = vec![0.0; 3];
+        ident.jacobian_sq(&x, &mut js);
+        assert!(js.iter().all(|&j| j == c));
+        // Non-uniform / state-dependent operators must opt out.
+        assert!(StridedObs::new(4, 2, 1.0).constant_jacobian_sq().is_none());
+        assert!(ArctanObs::new(3, 0.3).constant_jacobian_sq().is_none());
+        assert!(CubicObs::new(3, 0.5, 10.0).constant_jacobian_sq().is_none());
     }
 
     #[test]

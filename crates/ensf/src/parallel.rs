@@ -9,7 +9,7 @@
 //! asserting that the result is bitwise identical to the single-rank filter
 //! because every particle derives its RNG stream from its *global* index.
 
-use crate::filter::{Ensf, EnsfConfig};
+use crate::filter::{Ensf, EnsfConfig, ScoreKernel};
 use crate::obs::ObservationOperator;
 use crate::score::ScoreEstimator;
 use crate::sde::{reverse_sde_assimilate, TimeGrid};
@@ -76,71 +76,68 @@ pub fn analyze_partitioned(
     );
 
     let cycle_seed = split_seed(config.seed, cycle.wrapping_add(0x5151));
-    let estimator = ScoreEstimator::new(forecast.as_slice(), members, dim, config.schedule);
-    let schedule = config.schedule;
-    let n_steps = config.n_steps;
 
-    let mut analysis = Ensemble::zeros(members, dim);
-
-    // One task per rank block; inside a block, particles run sequentially,
-    // exactly as a single MPI rank would execute them.
-    let block_results: Vec<(usize, Vec<f64>)> = plan
-        .blocks
-        .par_iter()
-        .map(|&(start, end)| {
-            let mut block = vec![0.0; (end - start) * dim];
-            let mut scratch = vec![0.0; estimator.batch_len()];
-            for (local, m) in (start..end).enumerate() {
-                let out = &mut block[local * dim..(local + 1) * dim];
-                let mut rng = member_rng(cycle_seed, m);
-                fill_standard_normal(&mut rng, out);
-                reverse_sde_assimilate(
-                    out,
-                    &schedule,
-                    n_steps,
-                    TimeGrid::LogSpaced,
-                    |z, t, s| {
-                        estimator.score_into(z, t, s, &mut scratch);
-                    },
-                    obs,
-                    y,
-                    &mut rng,
-                );
-            }
-            (start, block)
-        })
-        .collect();
-
-    // "MPI reduce": gather rank blocks into the global analysis.
-    for (start, block) in block_results {
-        let nb = block.len() / dim;
-        for local in 0..nb {
-            analysis
-                .member_mut(start + local)
-                .copy_from_slice(&block[local * dim..(local + 1) * dim]);
+    let mut analysis = match config.kernel {
+        ScoreKernel::Batched => {
+            // The batched kernel's per-particle outputs are bitwise
+            // independent of the block layout (see `linalg::matmul_abt_into`),
+            // so handing the plan's blocks straight to the shared block
+            // driver reproduces the single-rank filter exactly.
+            let batch: Vec<usize> = (0..members).collect();
+            crate::batch::analyze_blocks(config, cycle_seed, &plan.blocks, forecast, y, obs, &batch)
         }
-    }
+        ScoreKernel::Reference => {
+            let estimator =
+                ScoreEstimator::new(forecast.as_slice(), members, dim, config.schedule);
+            let schedule = config.schedule;
+            let n_steps = config.n_steps;
+
+            let mut analysis = Ensemble::zeros(members, dim);
+
+            // One task per rank block; inside a block, particles run
+            // sequentially, exactly as a single MPI rank would execute them.
+            let block_results: Vec<(usize, Vec<f64>)> = plan
+                .blocks
+                .par_iter()
+                .map(|&(start, end)| {
+                    let mut block = vec![0.0; (end - start) * dim];
+                    let mut scratch = vec![0.0; estimator.batch_len()];
+                    for (local, m) in (start..end).enumerate() {
+                        let out = &mut block[local * dim..(local + 1) * dim];
+                        let mut rng = member_rng(cycle_seed, m);
+                        fill_standard_normal(&mut rng, out);
+                        reverse_sde_assimilate(
+                            out,
+                            &schedule,
+                            n_steps,
+                            TimeGrid::LogSpaced,
+                            |z, t, s| {
+                                estimator.score_into(z, t, s, &mut scratch);
+                            },
+                            obs,
+                            y,
+                            &mut rng,
+                        );
+                    }
+                    (start, block)
+                })
+                .collect();
+
+            // "MPI reduce": gather rank blocks into the global analysis.
+            for (start, block) in block_results {
+                let nb = block.len() / dim;
+                for local in 0..nb {
+                    analysis
+                        .member_mut(start + local)
+                        .copy_from_slice(&block[local * dim..(local + 1) * dim]);
+                }
+            }
+            analysis
+        }
+    };
 
     if config.spread_relaxation > 0.0 {
-        // Reuse the sequential filter for the (cheap, global) relaxation by
-        // delegating to its helper through a tiny shim: replicate inline.
-        let var_a = analysis.variance();
-        let var_f = forecast.variance();
-        let mean = analysis.mean();
-        let r = config.spread_relaxation;
-        let mut scale = vec![1.0; dim];
-        for i in 0..dim {
-            let sa = var_a[i].sqrt();
-            let sf = var_f[i].sqrt();
-            if sa > 1e-300 {
-                scale[i] = ((1.0 - r) * sa + r * sf) / sa;
-            }
-        }
-        for member in analysis.iter_mut() {
-            for ((x, mu), s) in member.iter_mut().zip(&mean).zip(&scale) {
-                *x = mu + (*x - mu) * s;
-            }
-        }
+        crate::filter::relax_spread(&mut analysis, forecast, config.spread_relaxation);
     }
     analysis
 }

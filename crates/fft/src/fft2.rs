@@ -13,6 +13,28 @@ use rayon::prelude::*;
 /// spinning up rayon tasks (measured: crossover near 64x64 on 8 cores).
 const PAR_THRESHOLD: usize = 128 * 128;
 
+/// Rows handed to one rayon task in the parallel pass, so each task's
+/// 1-D scratch allocation is amortized over many transforms instead of
+/// being re-created per row.
+const ROWS_PER_TASK: usize = 16;
+
+/// Reusable scratch for [`Fft2::process_with_scratch`]: the transpose
+/// buffer plus the 1-D plan scratch used on the sequential path. Grown on
+/// first use, then reused allocation-free across calls (e.g. once per RK4
+/// stage loop in the SQG stepper).
+#[derive(Debug, Default)]
+pub struct Fft2Scratch {
+    t: Vec<Complex>,
+    row: Vec<Complex>,
+}
+
+impl Fft2Scratch {
+    /// Creates an empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        Fft2Scratch::default()
+    }
+}
+
 /// Planned 2-D FFT for `rows x cols` row-major grids.
 #[derive(Debug)]
 pub struct Fft2 {
@@ -50,7 +72,21 @@ impl Fft2 {
     }
 
     /// Transforms `data` (row-major, length `rows * cols`) in place.
+    ///
+    /// Convenience wrapper over [`Fft2::process_with_scratch`] with
+    /// call-local scratch; hot loops should hold a [`Fft2Scratch`] and call
+    /// the buffered entry point directly to avoid the per-call transpose
+    /// allocation.
     pub fn process(&self, data: &mut [Complex]) {
+        let mut scratch = Fft2Scratch::new();
+        self.process_with_scratch(data, &mut scratch);
+    }
+
+    /// Transforms `data` in place, reusing `scratch` across calls.
+    ///
+    /// Bitwise identical to [`Fft2::process`]: scratch buffers only change
+    /// where intermediates live, never the operation order.
+    pub fn process_with_scratch(&self, data: &mut [Complex], scratch: &mut Fft2Scratch) {
         telemetry::counter_add("fft.fft2.calls", 1);
         assert_eq!(
             data.len(),
@@ -61,35 +97,44 @@ impl Fft2 {
 
         let parallel = self.rows * self.cols >= PAR_THRESHOLD;
 
-        // Pass 1: independent FFTs along each row.
+        // Pass 1: independent FFTs along each row. Parallel tasks own a
+        // block of rows and one scratch each; each row transform is
+        // independent, so the grouping cannot affect results.
         if parallel {
-            data.par_chunks_mut(self.cols).for_each(|row| {
-                let mut scratch = Vec::new();
-                self.row_plan.process_buffered(row, &mut scratch);
+            data.par_chunks_mut(self.cols * ROWS_PER_TASK).for_each(|chunk| {
+                let mut task_scratch = Vec::new();
+                for row in chunk.chunks_mut(self.cols) {
+                    self.row_plan.process_buffered(row, &mut task_scratch);
+                }
             });
         } else {
-            let mut scratch = Vec::new();
             for row in data.chunks_mut(self.cols) {
-                self.row_plan.process_buffered(row, &mut scratch);
+                self.row_plan.process_buffered(row, &mut scratch.row);
             }
         }
 
         // Pass 2: transpose, FFT rows of the transpose, transpose back.
         // The explicit transpose keeps pass 2 cache-friendly and lets us use
         // the same contiguous row kernel.
-        let mut t = transpose(data, self.rows, self.cols);
+        let n = self.rows * self.cols;
+        if scratch.t.len() < n {
+            scratch.t.resize(n, Complex::ZERO);
+        }
+        let t = &mut scratch.t[..n];
+        transpose_into(data, self.rows, self.cols, t);
         if parallel {
-            t.par_chunks_mut(self.rows).for_each(|col| {
-                let mut scratch = Vec::new();
-                self.col_plan.process_buffered(col, &mut scratch);
+            t.par_chunks_mut(self.rows * ROWS_PER_TASK).for_each(|chunk| {
+                let mut task_scratch = Vec::new();
+                for col in chunk.chunks_mut(self.rows) {
+                    self.col_plan.process_buffered(col, &mut task_scratch);
+                }
             });
         } else {
-            let mut scratch = Vec::new();
             for col in t.chunks_mut(self.rows) {
-                self.col_plan.process_buffered(col, &mut scratch);
+                self.col_plan.process_buffered(col, &mut scratch.row);
             }
         }
-        transpose_into(&t, self.cols, self.rows, data);
+        transpose_into(t, self.cols, self.rows, data);
     }
 }
 
@@ -119,19 +164,24 @@ pub fn transpose_into(data: &[Complex], rows: usize, cols: usize, out: &mut [Com
 }
 
 /// Forward-transforms a real row-major grid into a full complex spectrum.
+///
+/// Plans come from the process-wide [`crate::plan_cache`], so repeated
+/// calls on the same grid shape skip plan construction entirely.
 pub fn rfft2(field: &[f64], rows: usize, cols: usize) -> Vec<Complex> {
     assert_eq!(field.len(), rows * cols);
     let mut buf: Vec<Complex> = field.iter().map(|&x| Complex::from_re(x)).collect();
-    Fft2::new(rows, cols, Direction::Forward).process(&mut buf);
+    crate::plan_cache::fft2(rows, cols, Direction::Forward).process(&mut buf);
     buf
 }
 
 /// Inverse-transforms a complex spectrum to a real row-major grid,
 /// discarding the (round-off level) imaginary parts.
+///
+/// Plans come from the process-wide [`crate::plan_cache`].
 pub fn irfft2(spectrum: &[Complex], rows: usize, cols: usize) -> Vec<f64> {
     assert_eq!(spectrum.len(), rows * cols);
     let mut buf = spectrum.to_vec();
-    Fft2::new(rows, cols, Direction::Inverse).process(&mut buf);
+    crate::plan_cache::fft2(rows, cols, Direction::Inverse).process(&mut buf);
     buf.into_iter().map(|z| z.re).collect()
 }
 
@@ -239,6 +289,27 @@ mod tests {
         let total: f64 = spec.iter().map(|z| z.norm_sqr()).sum();
         let main = spec[ky * cols + kx].norm_sqr() + spec[(rows - ky) * cols + (cols - kx)].norm_sqr();
         assert!(main / total > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn scratch_entry_point_is_bitwise_identical() {
+        // Cover both the sequential path and (65_536 points) the parallel
+        // row-grouped path, plus a Bluestein shape, and reuse one scratch
+        // across all of them to exercise buffer growth.
+        let mut scratch = Fft2Scratch::new();
+        for (rows, cols) in [(8, 8), (6, 10), (256, 256)] {
+            let input: Vec<Complex> = (0..rows * cols)
+                .map(|i| Complex::new((i as f64 * 0.17).sin(), (i as f64 * 0.29).cos()))
+                .collect();
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let plan = Fft2::new(rows, cols, dir);
+                let mut plain = input.clone();
+                plan.process(&mut plain);
+                let mut buffered = input.clone();
+                plan.process_with_scratch(&mut buffered, &mut scratch);
+                assert_eq!(plain, buffered, "scratch reuse changed bits at {rows}x{cols}");
+            }
+        }
     }
 
     #[test]

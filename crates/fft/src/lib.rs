@@ -7,7 +7,10 @@
 //! - [`FftPlan`] — reusable 1-D plans; radix-2 Cooley–Tukey for power-of-two
 //!   lengths, Bluestein chirp-z for everything else.
 //! - [`Fft2`] — 2-D transforms with cache-blocked transposes and rayon
-//!   parallelism for large grids.
+//!   parallelism for large grids; [`Fft2Scratch`] makes hot loops
+//!   allocation-free via [`Fft2::process_with_scratch`].
+//! - [`plan_cache`] — process-wide memoization of 2-D plans keyed on
+//!   `(rows, cols, direction)`, shared as `Arc<Fft2>`.
 //! - [`real`] — real-signal helpers and Hermitian-symmetry utilities.
 //!
 //! ## Conventions
@@ -34,9 +37,10 @@ mod bluestein;
 mod complex;
 mod fft2;
 mod plan;
+pub mod plan_cache;
 mod radix2;
 pub mod real;
 
 pub use complex::Complex;
-pub use fft2::{irfft2, rfft2, transpose, transpose_into, Fft2};
+pub use fft2::{irfft2, rfft2, transpose, transpose_into, Fft2, Fft2Scratch};
 pub use plan::{Direction, FftPlan};

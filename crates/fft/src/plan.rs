@@ -10,7 +10,7 @@ use crate::complex::Complex;
 use std::sync::Arc;
 
 /// Transform direction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Forward transform: `X[k] = sum_n x[n] exp(-2*pi*i*n*k/N)`.
     Forward,

@@ -1,12 +1,22 @@
 //! Matrix multiplication kernels.
 //!
-//! The hot path is a cache-blocked i-k-j loop nest with the `k`-panel of `B`
-//! kept hot in L1/L2; rows of `C` are parallelized with rayon above a size
-//! threshold. The same kernel family backs the ViT crate's f32 tensors (it
-//! has its own copy specialized to f32); here everything is f64 for the DA
-//! math.
+//! The hot entry points ([`matmul_slices_into`], [`matmul_abt_into`],
+//! [`row_sq_norms`]) dispatch at runtime onto AVX-512 / AVX2+FMA
+//! microkernels (see [`crate::simd`]) with the portable scalar loop nests
+//! below as fallback and executable specification. The scalar path is a
+//! cache-blocked i-k-j loop nest with the `k`-panel of `B` kept hot in
+//! L1/L2; rows of `C` are parallelized with rayon above a size threshold.
+//! The same kernel family backs the ViT crate's f32 tensors (it has its own
+//! copy specialized to f32); here everything is f64 for the DA math.
+//!
+//! Whatever the dispatched level, every output element is a fixed-order
+//! accumulation independent of row grouping and tile shape, so results are
+//! run-to-run deterministic and partition-invariant within a process (the
+//! EnSF rank-decomposition contract). Bits differ *across* SIMD levels —
+//! nothing downstream assumes cross-machine bitwise equality.
 
 use crate::matrix::Matrix;
+use crate::simd;
 use rayon::prelude::*;
 
 /// Minimum `rows * cols * inner` product before the parallel path engages.
@@ -36,11 +46,82 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (kb, n) = b.shape();
     assert_eq!(k, kb, "matmul_into: inner dimensions differ");
     assert_eq!(c.shape(), (m, n), "matmul_into: output shape mismatch");
-    telemetry::counter_add("linalg.gemm.flops", (2 * m * n * k) as u64);
-    c.as_mut_slice().fill(0.0);
+    matmul_slices_into(a.as_slice(), b.as_slice(), m, k, n, c.as_mut_slice());
+}
 
-    let a_buf = a.as_slice();
-    let b_buf = b.as_slice();
+/// `C = A * B` on raw row-major slices: `a` is `m x k`, `b` is `k x n`,
+/// `c` (overwritten) is `m x n`.
+///
+/// Every output element is accumulated as one `k`-ascending chain (FMA-fused
+/// on the SIMD levels), so the result depends only on `(a, b)` — never on
+/// how rows are grouped into parallel tasks or register tiles. This is the
+/// determinism contract the EnSF batched kernel builds on. Zero
+/// coefficients in `a` contribute exactly nothing for finite `b` (the
+/// kernels skip them where profitable — e.g. a peaked softmax weight
+/// matrix costs one row pass, not `k`).
+pub fn matmul_slices_into(a: &[f64], b: &[f64], m: usize, k: usize, n: usize, c: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "matmul_slices_into: a shape mismatch");
+    assert_eq!(b.len(), k * n, "matmul_slices_into: b shape mismatch");
+    assert_eq!(c.len(), m * n, "matmul_slices_into: c shape mismatch");
+    telemetry::counter_add("linalg.gemm.flops", (2 * m * n * k) as u64);
+    #[cfg(target_arch = "x86_64")]
+    match simd::level() {
+        // SAFETY: level() only reports instruction sets the CPU supports.
+        simd::Level::Avx512 => return unsafe { simd::avx512::matmul_slices(a, b, m, k, n, c, None) },
+        simd::Level::Avx2 => return unsafe { simd::avx2::matmul_slices(a, b, m, k, n, c, None) },
+        simd::Level::Scalar => {}
+    }
+    matmul_slices_scalar(a, b, m, k, n, c);
+}
+
+/// `C = ca·(A·B) + cb·Z` — [`matmul_slices_into`] with the affine epilogue
+/// of [`crate::vector::scale_add`] fused into the store, saving one full
+/// read+write pass over `C`. Per-element arithmetic is identical to running
+/// the two calls back to back at the same SIMD level, so fused and unfused
+/// results agree bit for bit; the determinism/partition-invariance contract
+/// of [`matmul_slices_into`] carries over unchanged (the epilogue is
+/// elementwise).
+///
+/// # Panics
+/// Panics on any shape mismatch (`z` must be `m x n` like `c`).
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_slices_affine_into(
+    a: &[f64],
+    b: &[f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    z: &[f64],
+    ca: f64,
+    cb: f64,
+    c: &mut [f64],
+) {
+    assert_eq!(a.len(), m * k, "matmul_slices_affine_into: a shape mismatch");
+    assert_eq!(b.len(), k * n, "matmul_slices_affine_into: b shape mismatch");
+    assert_eq!(z.len(), m * n, "matmul_slices_affine_into: z shape mismatch");
+    assert_eq!(c.len(), m * n, "matmul_slices_affine_into: c shape mismatch");
+    telemetry::counter_add("linalg.gemm.flops", (2 * m * n * k) as u64);
+    #[cfg(target_arch = "x86_64")]
+    match simd::level() {
+        // SAFETY: level() only reports instruction sets the CPU supports.
+        simd::Level::Avx512 => {
+            return unsafe { simd::avx512::matmul_slices(a, b, m, k, n, c, Some((z, ca, cb))) }
+        }
+        simd::Level::Avx2 => {
+            return unsafe { simd::avx2::matmul_slices(a, b, m, k, n, c, Some((z, ca, cb))) }
+        }
+        simd::Level::Scalar => {}
+    }
+    matmul_slices_scalar(a, b, m, k, n, c);
+    crate::vector::scale_add(c, ca, z, cb);
+}
+
+/// Portable scalar body of [`matmul_slices_into`].
+fn matmul_slices_scalar(a: &[f64], b: &[f64], m: usize, k: usize, n: usize, c: &mut [f64]) {
+    c.fill(0.0);
+
+    let a_buf = a;
+    let b_buf = b;
 
     let kernel = |row_idx: usize, c_row: &mut [f64]| {
         let a_row = &a_buf[row_idx * k..(row_idx + 1) * k];
@@ -65,12 +146,11 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     };
 
     if m * n * k >= PAR_FLOPS_THRESHOLD {
-        c.as_mut_slice()
-            .par_chunks_mut(n)
+        c.par_chunks_mut(n)
             .enumerate()
             .for_each(|(i, row)| kernel(i, row));
     } else {
-        for (i, row) in c.as_mut_slice().chunks_mut(n).enumerate() {
+        for (i, row) in c.chunks_mut(n).enumerate() {
             kernel(i, row);
         }
     }
@@ -107,12 +187,181 @@ pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
     let (n, kb) = b.shape();
     assert_eq!(k, kb, "matmul_a_bt: inner dimensions differ");
     let mut c = Matrix::zeros(m, n);
-    for i in 0..m {
-        for j in 0..n {
-            c[(i, j)] = crate::vector::dot(a.row(i), b.row(j));
-        }
-    }
+    matmul_abt_into(a.as_slice(), b.as_slice(), m, n, k, c.as_mut_slice());
     c
+}
+
+/// `C = A * B^T` on raw row-major slices: `a` is `m x k`, `b` is `n x k`
+/// (so both operands stream along contiguous rows), `c` (overwritten) is
+/// `m x n`.
+///
+/// The hot path is a 4x4 register tile: 16 independent accumulator chains
+/// keep the FP units saturated where a single running dot product would be
+/// latency-bound. Each `c[i][j]` is a fixed-order reduction — a single
+/// `k`-ascending chain on the scalar level, a fixed lane-split FMA chain
+/// with a fixed pairwise combine on the SIMD levels — and full tiles and
+/// edge tiles apply the identical per-element operation sequence, so the
+/// output is bitwise independent of how the rows of `a` are grouped or
+/// partitioned. The EnSF analysis relies on this for its rank-decomposition
+/// bitwise-identity contract.
+pub fn matmul_abt_into(a: &[f64], b: &[f64], m: usize, n: usize, k: usize, c: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "matmul_abt_into: a shape mismatch");
+    assert_eq!(b.len(), n * k, "matmul_abt_into: b shape mismatch");
+    assert_eq!(c.len(), m * n, "matmul_abt_into: c shape mismatch");
+    telemetry::counter_add("linalg.gemm.flops", (2 * m * n * k) as u64);
+    #[cfg(target_arch = "x86_64")]
+    match simd::level() {
+        // SAFETY: level() only reports instruction sets the CPU supports.
+        simd::Level::Avx512 => return unsafe { simd::avx512::matmul_abt(a, b, m, n, k, c) },
+        simd::Level::Avx2 => return unsafe { simd::avx2::matmul_abt(a, b, m, n, k, c) },
+        simd::Level::Scalar => {}
+    }
+    matmul_abt_scalar(a, b, m, n, k, c);
+}
+
+/// Portable scalar body of [`matmul_abt_into`].
+fn matmul_abt_scalar(a: &[f64], b: &[f64], m: usize, n: usize, k: usize, c: &mut [f64]) {
+    const T: usize = 4;
+    let mut i0 = 0;
+    while i0 < m {
+        let ih = T.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let jh = T.min(n - j0);
+            if ih == T && jh == T {
+                let a0 = &a[i0 * k..(i0 + 1) * k];
+                let a1 = &a[(i0 + 1) * k..(i0 + 2) * k];
+                let a2 = &a[(i0 + 2) * k..(i0 + 3) * k];
+                let a3 = &a[(i0 + 3) * k..(i0 + 4) * k];
+                let b0 = &b[j0 * k..(j0 + 1) * k];
+                let b1 = &b[(j0 + 1) * k..(j0 + 2) * k];
+                let b2 = &b[(j0 + 2) * k..(j0 + 3) * k];
+                let b3 = &b[(j0 + 3) * k..(j0 + 4) * k];
+                let (mut c00, mut c01, mut c02, mut c03) = (0.0f64, 0.0, 0.0, 0.0);
+                let (mut c10, mut c11, mut c12, mut c13) = (0.0f64, 0.0, 0.0, 0.0);
+                let (mut c20, mut c21, mut c22, mut c23) = (0.0f64, 0.0, 0.0, 0.0);
+                let (mut c30, mut c31, mut c32, mut c33) = (0.0f64, 0.0, 0.0, 0.0);
+                for p in 0..k {
+                    let (av0, av1, av2, av3) = (a0[p], a1[p], a2[p], a3[p]);
+                    let (bv0, bv1, bv2, bv3) = (b0[p], b1[p], b2[p], b3[p]);
+                    c00 += av0 * bv0;
+                    c01 += av0 * bv1;
+                    c02 += av0 * bv2;
+                    c03 += av0 * bv3;
+                    c10 += av1 * bv0;
+                    c11 += av1 * bv1;
+                    c12 += av1 * bv2;
+                    c13 += av1 * bv3;
+                    c20 += av2 * bv0;
+                    c21 += av2 * bv1;
+                    c22 += av2 * bv2;
+                    c23 += av2 * bv3;
+                    c30 += av3 * bv0;
+                    c31 += av3 * bv1;
+                    c32 += av3 * bv2;
+                    c33 += av3 * bv3;
+                }
+                let tile = [
+                    [c00, c01, c02, c03],
+                    [c10, c11, c12, c13],
+                    [c20, c21, c22, c23],
+                    [c30, c31, c32, c33],
+                ];
+                for (di, row) in tile.iter().enumerate() {
+                    c[(i0 + di) * n + j0..(i0 + di) * n + j0 + T].copy_from_slice(row);
+                }
+            } else {
+                // Edge tile: same per-element k-ascending chain as the full
+                // tile, so values are identical whichever tile an element
+                // lands in.
+                for di in 0..ih {
+                    let ar = &a[(i0 + di) * k..(i0 + di + 1) * k];
+                    for dj in 0..jh {
+                        let br = &b[(j0 + dj) * k..(j0 + dj + 1) * k];
+                        let mut acc = 0.0f64;
+                        for p in 0..k {
+                            acc += ar[p] * br[p];
+                        }
+                        c[(i0 + di) * n + j0 + dj] = acc;
+                    }
+                }
+            }
+            j0 += T;
+        }
+        i0 += T;
+    }
+}
+
+/// Squared Euclidean norm of each row of a row-major `rows x cols` matrix.
+///
+/// Each norm is the same fixed-order reduction as the [`matmul_abt_into`]
+/// per-element kernel (applied to the row with itself), keeping the EnSF
+/// distance expansion deterministic and partition-invariant at every SIMD
+/// level.
+pub fn row_sq_norms(a: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
+    assert_eq!(a.len(), rows * cols, "row_sq_norms: input shape mismatch");
+    assert_eq!(out.len(), rows, "row_sq_norms: output length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    match simd::level() {
+        // SAFETY: level() only reports instruction sets the CPU supports.
+        simd::Level::Avx512 => {
+            for (o, row) in out.iter_mut().zip(a.chunks_exact(cols)) {
+                *o = unsafe { simd::avx512::dot(row, row) };
+            }
+            return;
+        }
+        simd::Level::Avx2 => {
+            for (o, row) in out.iter_mut().zip(a.chunks_exact(cols)) {
+                *o = unsafe { simd::avx2::dot(row, row) };
+            }
+            return;
+        }
+        simd::Level::Scalar => {}
+    }
+    for (o, row) in out.iter_mut().zip(a.chunks_exact(cols)) {
+        let mut acc = 0.0f64;
+        for &x in row {
+            acc += x * x;
+        }
+        *o = acc;
+    }
+}
+
+/// Reusable pool of `f64` work buffers for GEMM-based pipelines.
+///
+/// Callers that evaluate a fixed-shape product many times (the EnSF batched
+/// analysis calls two GEMMs per reverse-SDE step) create one scratch up
+/// front and borrow the same buffers each iteration: after the first
+/// [`GemmScratch::slices`] call at a given set of lengths, no further heap
+/// allocation occurs.
+#[derive(Debug, Default)]
+pub struct GemmScratch {
+    pool: Vec<Vec<f64>>,
+}
+
+impl GemmScratch {
+    /// Creates an empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        GemmScratch::default()
+    }
+
+    /// Borrows `N` disjoint zero-initialized-on-growth buffers of the given
+    /// lengths. Buffer `i` keeps its capacity across calls, so repeated
+    /// calls with the same lengths are allocation-free. Contents persist
+    /// between calls (they are scratch, not cleared).
+    pub fn slices<const N: usize>(&mut self, lens: [usize; N]) -> [&mut [f64]; N] {
+        if self.pool.len() < N {
+            self.pool.resize_with(N, Vec::new);
+        }
+        let mut it = self.pool.iter_mut();
+        lens.map(|len| {
+            let buf = it.next().expect("pool sized above");
+            if buf.len() < len {
+                buf.resize(len, 0.0);
+            }
+            &mut buf[..len]
+        })
+    }
 }
 
 /// Matrix-vector product `A * x`.
@@ -224,5 +473,113 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn affine_fused_matches_unfused_bitwise() {
+        // Fusing the scale_add epilogue into the slices kernel must be a
+        // pure store-path change: same bits as the two-call sequence, at
+        // every shape including scalar-remainder columns.
+        for (m, k, n) in [(1, 1, 1), (4, 20, 64), (5, 7, 29), (20, 20, 83), (3, 11, 16)] {
+            let a = test_matrix(m, k, 0.37);
+            let b = test_matrix(k, n, 0.19);
+            let z = test_matrix(m, n, 0.61);
+            let (ca, cb) = (1.375, -0.625);
+            let mut unfused = vec![0.0; m * n];
+            matmul_slices_into(a.as_slice(), b.as_slice(), m, k, n, &mut unfused);
+            crate::vector::scale_add(&mut unfused, ca, z.as_slice(), cb);
+            let mut fused = vec![0.0; m * n];
+            matmul_slices_affine_into(
+                a.as_slice(),
+                b.as_slice(),
+                m,
+                k,
+                n,
+                z.as_slice(),
+                ca,
+                cb,
+                &mut fused,
+            );
+            for (f, u) in fused.iter().zip(&unfused) {
+                assert_eq!(f.to_bits(), u.to_bits(), "{m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn abt_tiled_matches_naive_across_edge_shapes() {
+        // Cover full 4x4 tiles plus every edge-tile shape.
+        for (m, n, k) in [(1, 1, 1), (3, 5, 7), (4, 4, 64), (9, 6, 33), (8, 8, 257), (5, 13, 100)] {
+            let a = test_matrix(m, k, 0.17);
+            let b = test_matrix(n, k, 0.29);
+            let mut c = vec![0.0; m * n];
+            matmul_abt_into(a.as_slice(), b.as_slice(), m, n, k, &mut c);
+            let want = matmul(&a, &b.transpose());
+            for (got, w) in c.iter().zip(want.as_slice()) {
+                assert!((got - w).abs() < 1e-9 * (1.0 + w.abs()), "{m}x{n}x{k}: {got} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn abt_tiled_is_row_grouping_invariant() {
+        // Computing a sub-block of rows must reproduce the corresponding
+        // rows of the full product bit for bit: the partition-invariance
+        // contract the EnSF rank decomposition relies on.
+        let (m, n, k) = (11, 7, 129);
+        let a = test_matrix(m, k, 0.53);
+        let b = test_matrix(n, k, 0.71);
+        let mut full = vec![0.0; m * n];
+        matmul_abt_into(a.as_slice(), b.as_slice(), m, n, k, &mut full);
+        for start in 0..m {
+            for end in start + 1..=m {
+                let rows = end - start;
+                let mut part = vec![0.0; rows * n];
+                matmul_abt_into(&a.as_slice()[start * k..end * k], b.as_slice(), rows, n, k, &mut part);
+                assert_eq!(part, full[start * n..end * n], "rows {start}..{end} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn row_sq_norms_matches_dot() {
+        let a = test_matrix(5, 9, 0.43);
+        let mut norms = vec![0.0; 5];
+        row_sq_norms(a.as_slice(), 5, 9, &mut norms);
+        for i in 0..5 {
+            let want: f64 = a.row(i).iter().map(|x| x * x).sum();
+            assert!((norms[i] - want).abs() < 1e-12 * (1.0 + want));
+        }
+    }
+
+    #[test]
+    fn matmul_slices_matches_matrix_entry_point() {
+        let a = test_matrix(6, 10, 0.13);
+        let b = test_matrix(10, 4, 0.37);
+        let want = matmul(&a, &b);
+        let mut c = vec![0.0; 6 * 4];
+        matmul_slices_into(a.as_slice(), b.as_slice(), 6, 10, 4, &mut c);
+        assert_eq!(c, want.as_slice());
+    }
+
+    #[test]
+    fn gemm_scratch_reuses_buffers() {
+        let mut scratch = GemmScratch::new();
+        {
+            let [x, y] = scratch.slices([4, 8]);
+            x.fill(1.0);
+            y.fill(2.0);
+            assert_eq!(x.len(), 4);
+            assert_eq!(y.len(), 8);
+        }
+        // Same lengths again: same backing buffers, contents preserved.
+        let ptrs: Vec<*const f64> = {
+            let [x, y] = scratch.slices([4, 8]);
+            assert!(x.iter().all(|&v| v == 1.0));
+            assert!(y.iter().all(|&v| v == 2.0));
+            vec![x.as_ptr(), y.as_ptr()]
+        };
+        let [x2, y2] = scratch.slices([4, 8]);
+        assert_eq!(ptrs, vec![x2.as_ptr(), y2.as_ptr()]);
     }
 }

@@ -30,6 +30,7 @@ mod eigh;
 pub mod gemm;
 mod lu;
 mod matrix;
+pub mod simd;
 pub mod vector;
 
 pub use cholesky::{

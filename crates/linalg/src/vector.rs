@@ -46,6 +46,26 @@ pub fn scale(x: &mut [f64], a: f64) {
     }
 }
 
+/// Fused row update `y = a * y + b * x` in one pass (FMA-vectorized on the
+/// SIMD levels; elementwise, so grouping-invariant at any level).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn scale_add(y: &mut [f64], a: f64, x: &[f64], b: f64) {
+    assert_eq!(x.len(), y.len(), "scale_add: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    match crate::simd::level() {
+        // SAFETY: level() only reports instruction sets the CPU supports.
+        crate::simd::Level::Avx512 => return unsafe { crate::simd::avx512::scale_add(y, a, x, b) },
+        crate::simd::Level::Avx2 => return unsafe { crate::simd::avx2::scale_add(y, a, x, b) },
+        crate::simd::Level::Scalar => {}
+    }
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = a * *yi + b * xi;
+    }
+}
+
 /// Euclidean norm `||x||_2`.
 #[inline]
 pub fn norm2(x: &[f64]) -> f64 {

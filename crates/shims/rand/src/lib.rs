@@ -67,6 +67,7 @@ pub trait Rng {
 }
 
 impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
     }
@@ -114,6 +115,10 @@ pub mod rngs {
     }
 
     impl Rng for StdRng {
+        // Inline across crates: this sits on the floor of every sampling
+        // hot loop in the workspace (without the hint, non-generic methods
+        // stay out-of-line absent LTO).
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
             let result = s[0]

@@ -4,7 +4,7 @@ use crate::dynamics::invert;
 use crate::grid::SpectralGrid;
 use crate::params::SqgParams;
 use crate::state::{SqgState, LEVELS};
-use fft::{Complex, Direction, Fft2};
+use fft::{plan_cache, Complex, Direction};
 
 /// Kinetic-energy density spectrum of the flow at level `l`, binned into
 /// isotropic shells (integer wavenumber). This is the quantity whose
@@ -42,7 +42,7 @@ pub fn max_wind_speed(p: &SqgParams, state: &SqgState) -> f64 {
         &[state.level(0).to_vec(), state.level(1).to_vec()];
     let mut psi = [vec![Complex::ZERO; n * n], vec![Complex::ZERO; n * n]];
     invert(&grid, theta, &mut psi);
-    let ifft = Fft2::new(n, n, Direction::Inverse);
+    let ifft = plan_cache::fft2(n, n, Direction::Inverse);
     let ubg = p.background_wind();
     let mut vmax = 0.0f64;
     for l in 0..LEVELS {

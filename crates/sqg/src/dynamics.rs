@@ -20,7 +20,8 @@
 use crate::grid::SpectralGrid;
 use crate::params::SqgParams;
 use crate::state::LEVELS;
-use fft::{Complex, Direction, Fft2};
+use fft::{plan_cache, Complex, Direction, Fft2, Fft2Scratch};
+use std::sync::Arc;
 
 /// Inverts boundary buoyancy to boundary streamfunction, writing into `psi`.
 ///
@@ -49,7 +50,8 @@ pub fn invert(
     }
 }
 
-/// Scratch buffers reused across tendency evaluations (8 complex grids).
+/// Scratch buffers reused across tendency evaluations (8 complex grids plus
+/// the FFT transpose scratch).
 pub struct TendencyScratch {
     psi: [Vec<Complex>; LEVELS],
     u: Vec<Complex>,
@@ -57,6 +59,7 @@ pub struct TendencyScratch {
     tx: Vec<Complex>,
     ty: Vec<Complex>,
     adv: Vec<Complex>,
+    fft: Fft2Scratch,
 }
 
 impl TendencyScratch {
@@ -70,6 +73,7 @@ impl TendencyScratch {
             tx: z.clone(),
             ty: z.clone(),
             adv: z,
+            fft: Fft2Scratch::new(),
         }
     }
 }
@@ -117,10 +121,10 @@ pub fn tendency(
         }
         {
             let _span = telemetry::span!("fft");
-            ifft.process(&mut scratch.u);
-            ifft.process(&mut scratch.v);
-            ifft.process(&mut scratch.tx);
-            ifft.process(&mut scratch.ty);
+            ifft.process_with_scratch(&mut scratch.u, &mut scratch.fft);
+            ifft.process_with_scratch(&mut scratch.v, &mut scratch.fft);
+            ifft.process_with_scratch(&mut scratch.tx, &mut scratch.fft);
+            ifft.process_with_scratch(&mut scratch.ty, &mut scratch.fft);
         }
 
         // Nonlinear advection in grid space (real parts; imaginary parts are
@@ -132,7 +136,7 @@ pub fn tendency(
         }
         {
             let _span = telemetry::span!("fft");
-            fwd.process(&mut scratch.adv);
+            fwd.process_with_scratch(&mut scratch.adv, &mut scratch.fft);
         }
 
         // Assemble the spectral tendency with dealiasing on the product.
@@ -172,8 +176,8 @@ pub struct Stepper {
     pub params: SqgParams,
     /// Precomputed spectral tables.
     pub grid: SpectralGrid,
-    fwd: Fft2,
-    ifft: Fft2,
+    fwd: Arc<Fft2>,
+    ifft: Arc<Fft2>,
     scratch: TendencyScratch,
     k1: [Vec<Complex>; LEVELS],
     k2: [Vec<Complex>; LEVELS],
@@ -192,8 +196,8 @@ impl Stepper {
         let z = vec![Complex::ZERO; n * n];
         let mk = || [z.clone(), z.clone()];
         Stepper {
-            fwd: Fft2::new(n, n, Direction::Forward),
-            ifft: Fft2::new(n, n, Direction::Inverse),
+            fwd: plan_cache::fft2(n, n, Direction::Forward),
+            ifft: plan_cache::fft2(n, n, Direction::Inverse),
             scratch: TendencyScratch::new(n),
             grid,
             params,

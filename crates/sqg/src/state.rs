@@ -2,7 +2,7 @@
 //! boundary levels, with conversions to/from the flat grid-space state
 //! vector the DA filters operate on.
 
-use fft::{Complex, Direction, Fft2};
+use fft::{plan_cache, Complex, Direction};
 
 /// Number of vertical levels (the two boundaries of the Eady model).
 pub const LEVELS: usize = 2;
@@ -52,8 +52,11 @@ impl SqgState {
     }
 
     /// Converts grid-space fields (row-major, one per level) to a state.
+    ///
+    /// FFT plans come from the shared [`fft::plan_cache`], so repeated
+    /// conversions (once per member per DA cycle) reuse one plan.
     pub fn from_grid(n: usize, grid: &[Vec<f64>; LEVELS]) -> Self {
-        let fwd = Fft2::new(n, n, Direction::Forward);
+        let fwd = plan_cache::fft2(n, n, Direction::Forward);
         let mut levels: [Vec<Complex>; LEVELS] =
             [vec![Complex::ZERO; n * n], vec![Complex::ZERO; n * n]];
         for (l, g) in grid.iter().enumerate() {
@@ -68,7 +71,7 @@ impl SqgState {
 
     /// Converts the spectral state to grid-space fields.
     pub fn to_grid(&self) -> [Vec<f64>; LEVELS] {
-        let inv = Fft2::new(self.n, self.n, Direction::Inverse);
+        let inv = plan_cache::fft2(self.n, self.n, Direction::Inverse);
         let mut out: [Vec<f64>; LEVELS] = [Vec::new(), Vec::new()];
         for (l, spec) in self.levels.iter().enumerate() {
             let mut buf = spec.clone();

@@ -9,6 +9,8 @@
 //! - [`Ensemble`] — member-major ensemble container with mean/variance/
 //!   spread/anomaly/inflation operations used by both filters.
 //! - [`metrics`] — RMSE/bias/MAE/pattern-correlation/CRPS verification.
+//! - [`softmax`] — stable log-sum-exp / softmax reductions (the EnSF score
+//!   weights in batched form).
 //! - [`spectrum`] — isotropic KE spectra and inertial-range slope fitting
 //!   (the `k^{-5/3}` check).
 //! - [`OnlineMoments`] — mergeable Welford accumulators for long series.
@@ -22,6 +24,7 @@ pub mod gaussian;
 pub mod metrics;
 mod moments;
 pub mod rng;
+pub mod softmax;
 pub mod spectrum;
 
 pub use ensemble::Ensemble;
