@@ -1,0 +1,29 @@
+//! Fully clean file: the analyzer must report zero findings here, even
+//! though it exercises an unsafe fn, a hot path, and a float tolerance.
+
+/// Adds two numbers.
+pub fn add(a: u64, b: u64) -> u64 {
+    a + b
+}
+
+/// Scales a slice in place without allocating.
+// lint: no_alloc
+pub fn scale(xs: &mut [f64], k: f64) {
+    for x in xs.iter_mut() {
+        *x *= k;
+    }
+}
+
+/// True when `x` is within `tol` of zero.
+pub fn near_zero(x: f64, tol: f64) -> bool {
+    x.abs() <= tol
+}
+
+/// Reads one byte through a raw pointer.
+///
+/// # Safety
+/// `p` must point to a valid, initialized byte.
+pub unsafe fn read_byte(p: *const u8) -> u8 {
+    // SAFETY: validity contract forwarded from the caller.
+    unsafe { *p }
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: exact float equality in library code (line 4).
+
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: heap allocation inside a `no_alloc` hot path (line 5).
+
+// lint: no_alloc
+pub fn hot(xs: &mut Vec<f64>, v: f64) {
+    xs.push(v);
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: wall-clock timing in a numeric crate (line 4).
+
+pub fn elapsed_hint() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: undocumented panic path in library code (line 4).
+
+pub fn first(xs: &[u8]) -> u8 {
+    *xs.first().unwrap()
+}

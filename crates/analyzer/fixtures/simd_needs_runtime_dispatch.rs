@@ -1,0 +1,6 @@
+//! Seeded violation: SIMD intrinsic in a file with no runtime dispatch (line 4).
+
+pub fn kernel() -> f64 {
+    let _x = _mm256_setzero_pd();
+    0.0
+}

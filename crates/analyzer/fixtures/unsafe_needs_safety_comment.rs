@@ -1,0 +1,5 @@
+//! Seeded violation: `unsafe` with no SAFETY justification (line 4).
+
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,148 @@
+//! Inline lint directives.
+//!
+//! Two comment forms are recognized anywhere in a file:
+//!
+//! * `// lint: allow(<lint-name>, reason="...")` — suppresses the named lint
+//!   on the annotated code. A trailing directive covers its own line; a
+//!   directive on its own line covers the next code line, and when that line
+//!   opens a brace block (a `fn`, `mod`, `impl`, loop, ...) the whole block.
+//! * `// lint: no_alloc` — marks the next `fn` as a hot path: the
+//!   `no-alloc-in-hot-path` lint bans heap allocation in its body.
+//!
+//! A directive that names an unknown lint or omits the reason is itself a
+//! `lint-directive` error, so typos fail CI instead of silently allowing.
+
+use crate::lexer::Comment;
+
+/// One parsed `lint:` directive.
+#[derive(Debug, Clone)]
+pub enum Directive {
+    /// `allow(<lint>, reason="...")`.
+    Allow {
+        /// Lint being suppressed.
+        lint: String,
+        /// Mandatory human reason.
+        reason: String,
+        /// Line the directive comment starts on.
+        line: u32,
+        /// True when code precedes the comment on that line.
+        trailing: bool,
+    },
+    /// `no_alloc` hot-path marker.
+    NoAlloc {
+        /// Line the directive comment starts on.
+        line: u32,
+    },
+    /// Unparseable `lint:` comment (reported as an error).
+    Malformed {
+        /// Line the directive comment starts on.
+        line: u32,
+        /// What went wrong.
+        why: String,
+    },
+}
+
+/// Extracts all directives from a file's comments.
+pub fn parse_directives(comments: &[Comment]) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(rest) = directive_body(&c.text) else { continue };
+        if rest.starts_with("no_alloc") {
+            out.push(Directive::NoAlloc { line: c.line });
+        } else if let Some(args) = rest.strip_prefix("allow") {
+            out.push(parse_allow(args.trim(), c));
+        } else {
+            out.push(Directive::Malformed {
+                line: c.line,
+                why: format!(
+                    "unknown directive `{}` (expected `allow(...)` or `no_alloc`)",
+                    rest.split_whitespace().next().unwrap_or("")
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Returns the text after a `lint:` marker, if the comment carries one.
+fn directive_body(comment: &str) -> Option<&str> {
+    let stripped = comment.trim_start_matches('/').trim_start_matches('!').trim_start();
+    let rest = stripped.strip_prefix("lint:")?;
+    Some(rest.trim_start())
+}
+
+/// Parses `(name, reason="...")`.
+fn parse_allow(args: &str, c: &Comment) -> Directive {
+    let malformed = |why: &str| Directive::Malformed { line: c.line, why: why.to_string() };
+    let Some(inner) = args.strip_prefix('(').and_then(|a| a.rfind(')').map(|i| &a[..i])) else {
+        return malformed("expected `allow(<lint>, reason=\"...\")`");
+    };
+    let Some((name, rest)) = inner.split_once(',') else {
+        return malformed("missing `reason=\"...\"` (a justification is mandatory)");
+    };
+    let name = name.trim();
+    if name.is_empty() || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-') {
+        return malformed("lint name must be kebab-case");
+    }
+    let rest = rest.trim();
+    let Some(q) = rest.strip_prefix("reason=").map(str::trim) else {
+        return malformed("missing `reason=\"...\"` (a justification is mandatory)");
+    };
+    let reason = q.trim_matches('"').trim();
+    if reason.is_empty() {
+        return malformed("reason must be a nonempty string");
+    }
+    Directive::Allow {
+        lint: name.to_string(),
+        reason: reason.to_string(),
+        line: c.line,
+        trailing: c.trailing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn directives(src: &str) -> Vec<Directive> {
+        parse_directives(&lex(src).comments)
+    }
+
+    #[test]
+    fn parses_allow() {
+        let d = directives("// lint: allow(float-exact-compare, reason=\"exact zero skip\")\nlet x = 1;");
+        match &d[0] {
+            Directive::Allow { lint, reason, line, trailing } => {
+                assert_eq!(lint, "float-exact-compare");
+                assert_eq!(reason, "exact zero skip");
+                assert_eq!(*line, 1);
+                assert!(!trailing);
+            }
+            other => panic!("expected Allow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_no_alloc() {
+        let d = directives("// lint: no_alloc\nfn hot() {}");
+        assert!(matches!(d[0], Directive::NoAlloc { line: 1 }));
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let d = directives("// lint: allow(panic-in-library)\nlet x = 1;");
+        assert!(matches!(&d[0], Directive::Malformed { .. }));
+    }
+
+    #[test]
+    fn unknown_directive_is_malformed() {
+        let d = directives("// lint: disable(everything)\n");
+        assert!(matches!(&d[0], Directive::Malformed { .. }));
+    }
+
+    #[test]
+    fn non_directive_comments_ignored() {
+        assert!(directives("// ordinary comment about lint rules\n").is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Diagnostics: rustc-style human rendering and JSON export.
+
+/// One finding, anchored to a file/line/column.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Lint name (kebab-case) or `lint-directive` for malformed directives.
+    pub lint: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// One-sentence statement of the violation.
+    pub message: String,
+    /// Verbatim source line (trimmed of trailing whitespace).
+    pub snippet: String,
+    /// How to fix or justify it.
+    pub help: String,
+}
+
+impl Diagnostic {
+    /// Renders in rustc style with the offending line and a caret.
+    pub fn render(&self) -> String {
+        let gutter = format!("{}", self.line).len().max(2);
+        let pad = " ".repeat(gutter);
+        let caret_pad = " ".repeat(self.col.saturating_sub(1) as usize);
+        format!(
+            "error[{lint}]: {msg}\n{pad}--> {file}:{line}:{col}\n{pad} |\n{line:>gutter$} | {snippet}\n{pad} | {caret_pad}^\n{pad} = help: {help}\n",
+            lint = self.lint,
+            msg = self.message,
+            file = self.file,
+            line = self.line,
+            col = self.col,
+            snippet = self.snippet,
+            help = self.help,
+            pad = pad,
+            caret_pad = caret_pad,
+            gutter = gutter,
+        )
+    }
+
+    /// Renders as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"lint\":{},\"file\":{},\"line\":{},\"column\":{},\"message\":{},\"help\":{}}}",
+            json_str(self.lint),
+            json_str(&self.file),
+            self.line,
+            self.col,
+            json_str(&self.message),
+            json_str(&self.help),
+        )
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_rustc_shaped() {
+        let d = Diagnostic {
+            lint: "float-exact-compare",
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            col: 10,
+            message: "exact float comparison".into(),
+            snippet: "if x == 0.0 {".into(),
+            help: "compare with a tolerance".into(),
+        };
+        let r = d.render();
+        assert!(r.starts_with("error[float-exact-compare]:"));
+        assert!(r.contains("--> crates/x/src/lib.rs:7:10"));
+        assert!(r.contains(" 7 | if x == 0.0 {"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

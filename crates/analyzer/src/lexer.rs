@@ -1,0 +1,466 @@
+//! Hand-rolled Rust lexer.
+//!
+//! Produces a token stream (identifiers, literals, punctuation) plus a side
+//! list of comments with their spans. The lexer understands exactly enough
+//! Rust to never mistake comment/string contents for code: nested block
+//! comments, raw strings with arbitrary `#` fences, byte/char literals, and
+//! the char-vs-lifetime ambiguity. It does **not** resolve types or macros —
+//! see `crates/analyzer/README.md` for the consequences.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `Vec`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal (including hex/octal/binary).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `1f64`).
+    Float,
+    /// String, raw-string, byte-string or char literal.
+    Str,
+    /// Punctuation; multi-char operators arrive joined (`==`, `::`, `->`).
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Verbatim token text.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+/// One comment (line or block) with its line span.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based first line.
+    pub line: u32,
+    /// 1-based last line (== `line` for line comments).
+    pub end_line: u32,
+    /// True when a token precedes the comment on its first line.
+    pub trailing: bool,
+}
+
+/// Lex result: code tokens plus comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first (maximal munch).
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor { src, pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n_chars: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n_chars)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into tokens and comments. Unterminated constructs (string,
+/// block comment) are tolerated: the rest of the file becomes one token.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+    let mut last_token_line = 0u32;
+
+    while let Some(c) = cur.peek() {
+        let (line, col, start) = (cur.line, cur.col, cur.pos);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if cur.starts_with("//") {
+            while let Some(ch) = cur.peek() {
+                if ch == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text: cur.src[start..cur.pos].to_string(),
+                line,
+                end_line: line,
+                trailing: last_token_line == line,
+            });
+            continue;
+        }
+        if cur.starts_with("/*") {
+            let mut depth = 0usize;
+            while cur.peek().is_some() {
+                if cur.starts_with("/*") {
+                    depth += 1;
+                    cur.bump();
+                    cur.bump();
+                } else if cur.starts_with("*/") {
+                    depth -= 1;
+                    cur.bump();
+                    cur.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    cur.bump();
+                }
+            }
+            out.comments.push(Comment {
+                text: cur.src[start..cur.pos].to_string(),
+                line,
+                end_line: cur.line,
+                trailing: last_token_line == line,
+            });
+            continue;
+        }
+
+        // Raw / byte strings: r"..", r#".."#, br#".."#, b"..".
+        if c == 'r' || c == 'b' {
+            let rest = &cur.src[cur.pos..];
+            let prefix_len = raw_or_byte_string_prefix(rest);
+            if let Some((hashes, quote_off)) = prefix_len {
+                // Consume prefix + opening quote.
+                for _ in 0..quote_off + 1 {
+                    cur.bump();
+                }
+                let fence: String = "\"".chars().chain(std::iter::repeat_n('#', hashes)).collect();
+                if hashes == 0 && !rest[..quote_off].contains('r') {
+                    // Plain byte string b"..": honors escapes.
+                    scan_escaped_until(&mut cur, '"');
+                } else {
+                    // Raw string: ends at `"###...` with the right fence.
+                    while cur.peek().is_some() && !cur.starts_with(&fence) {
+                        cur.bump();
+                    }
+                    for _ in 0..fence.chars().count() {
+                        cur.bump();
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: cur.src[start..cur.pos].to_string(),
+                    line,
+                    col,
+                });
+                last_token_line = cur.line;
+                continue;
+            }
+        }
+
+        // Plain strings.
+        if c == '"' {
+            cur.bump();
+            scan_escaped_until(&mut cur, '"');
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: cur.src[start..cur.pos].to_string(),
+                line,
+                col,
+            });
+            last_token_line = cur.line;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let c1 = cur.peek_at(1);
+            let c2 = cur.peek_at(2);
+            let is_char =
+                matches!((c1, c2), (Some('\\'), _) | (Some(_), Some('\'')));
+            if is_char {
+                cur.bump(); // '
+                scan_escaped_until(&mut cur, '\'');
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: cur.src[start..cur.pos].to_string(),
+                    line,
+                    col,
+                });
+            } else {
+                cur.bump(); // '
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: cur.src[start..cur.pos].to_string(),
+                    line,
+                    col,
+                });
+            }
+            last_token_line = cur.line;
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let kind = scan_number(&mut cur);
+            out.tokens.push(Token {
+                kind,
+                text: cur.src[start..cur.pos].to_string(),
+                line,
+                col,
+            });
+            last_token_line = cur.line;
+            continue;
+        }
+
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: cur.src[start..cur.pos].to_string(),
+                line,
+                col,
+            });
+            last_token_line = cur.line;
+            continue;
+        }
+
+        // Punctuation, longest operators first.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            if cur.starts_with(op) {
+                for _ in 0..op.len() {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (*op).to_string(),
+                    line,
+                    col,
+                });
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            cur.bump();
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: cur.src[start..cur.pos].to_string(),
+                line,
+                col,
+            });
+        }
+        last_token_line = cur.line;
+    }
+    out
+}
+
+/// Detects `r`/`b`/`rb`/`br` string prefixes. Returns `(hash_count,
+/// chars_before_quote)` when the cursor sits on a raw/byte string opener.
+fn raw_or_byte_string_prefix(rest: &str) -> Option<(usize, usize)> {
+    let bytes = rest.as_bytes();
+    let mut i = 0;
+    let mut saw_marker = false;
+    while i < 2 && i < bytes.len() && (bytes[i] == b'r' || bytes[i] == b'b') {
+        saw_marker = true;
+        i += 1;
+    }
+    if !saw_marker {
+        return None;
+    }
+    let mut hashes = 0;
+    let mut j = i;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'"' {
+        Some((hashes, j))
+    } else {
+        None
+    }
+}
+
+/// Consumes characters up to and including an unescaped `delim`.
+fn scan_escaped_until(cur: &mut Cursor<'_>, delim: char) {
+    while let Some(ch) = cur.bump() {
+        if ch == '\\' {
+            cur.bump();
+        } else if ch == delim {
+            break;
+        }
+    }
+}
+
+/// Consumes a numeric literal, classifying int vs float.
+fn scan_number(cur: &mut Cursor<'_>) -> TokenKind {
+    let mut kind = TokenKind::Int;
+    if cur.starts_with("0x") || cur.starts_with("0o") || cur.starts_with("0b") {
+        cur.bump();
+        cur.bump();
+        while cur.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+            cur.bump();
+        }
+        return TokenKind::Int;
+    }
+    while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == '_') {
+        cur.bump();
+    }
+    // Fractional part: a dot followed by a digit (so `1..2` and `1.max(..)`
+    // stay integers).
+    if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        kind = TokenKind::Float;
+        cur.bump();
+        while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            cur.bump();
+        }
+    }
+    // Exponent.
+    if cur.peek().is_some_and(|c| c == 'e' || c == 'E') {
+        let sign_ok = matches!(cur.peek_at(1), Some(c) if c.is_ascii_digit() || c == '+' || c == '-');
+        if sign_ok {
+            kind = TokenKind::Float;
+            cur.bump();
+            if cur.peek().is_some_and(|c| c == '+' || c == '-') {
+                cur.bump();
+            }
+            while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                cur.bump();
+            }
+        }
+    }
+    // Type suffix.
+    if cur.starts_with("f32") || cur.starts_with("f64") {
+        kind = TokenKind::Float;
+    }
+    while cur.peek().is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    kind
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let toks = kinds("fn foo(x: f64) -> f64 { x == 1.0 }");
+        assert_eq!(toks[0], (TokenKind::Ident, "fn".into()));
+        assert!(toks.contains(&(TokenKind::Punct, "->".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "==".into())));
+        assert!(toks.contains(&(TokenKind::Float, "1.0".into())));
+    }
+
+    #[test]
+    fn comments_are_side_channel() {
+        let lexed = lex("let x = 1; // trailing\n// own line\nlet y = 2;");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let lexed = lex("/* a /* b */ c */ fn");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.tokens.len(), 1);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("'a' 'x: &'a str '\\n'");
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1].0, TokenKind::Lifetime); // 'x
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert_eq!(toks.last().unwrap().0, TokenKind::Str);
+    }
+
+    #[test]
+    fn raw_strings_hide_contents() {
+        let toks = kinds(r##"let s = r#"unsafe { } // not code"#;"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(!toks.iter().any(|(_, t)| t == "unsafe"));
+    }
+
+    #[test]
+    fn numbers_classified() {
+        let toks = kinds("1 1.5 2e-3 0xff 1f64 1..2 x.max(1)");
+        assert_eq!(toks[0].0, TokenKind::Int);
+        assert_eq!(toks[1].0, TokenKind::Float);
+        assert_eq!(toks[2].0, TokenKind::Float);
+        assert_eq!(toks[3].0, TokenKind::Int);
+        assert_eq!(toks[4].0, TokenKind::Float);
+        // 1..2 lexes as Int, Punct(..), Int
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Punct && t == ".."));
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let lexed = lex("fn a() {\n    let x = 0.0;\n}\n");
+        let x = lexed.tokens.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!((x.line, x.col), (2, 9));
+    }
+
+    #[test]
+    fn strings_hide_keywords() {
+        let toks = kinds(r#"let s = "unsafe { SystemTime }";"#);
+        assert!(!toks.iter().any(|(_, t)| t == "unsafe" || t == "SystemTime"));
+    }
+}

@@ -1,0 +1,351 @@
+//! In-tree static analyzer for the sqg-da workspace.
+//!
+//! Enforces the invariants PRs 2–3 promised — bitwise determinism,
+//! allocation-free hot loops, justified `unsafe`, dispatch-gated SIMD — as
+//! machine-checked lints over a hand-rolled lexer and a lightweight
+//! structural parser (no `syn`, no rustc internals, no dependencies).
+//!
+//! Run `cargo run -p analyzer -- check` from the workspace root; see
+//! `crates/analyzer/README.md` for the lint table and the lexer's
+//! limitations.
+
+pub mod allow;
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod parse;
+pub mod workspace;
+
+pub use diag::Diagnostic;
+
+use allow::Directive;
+use lexer::{Comment, Token};
+use parse::Structure;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What role a file plays; several lints only apply to library code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Crate library source (`src/` of a lib crate).
+    Library,
+    /// Integration tests / benches (`tests/`, `benches/`).
+    Test,
+    /// Binary targets (`src/bin/`, `main.rs`, the bench crate).
+    Bin,
+    /// Examples (`examples/`).
+    Example,
+}
+
+/// A registered lint.
+pub struct Lint {
+    /// Kebab-case name used in diagnostics and `allow(...)` directives.
+    pub name: &'static str,
+    /// One-line description.
+    pub desc: &'static str,
+}
+
+/// The lint registry. `lint-directive` (malformed/unknown directives) is
+/// implicit and cannot be allowed.
+pub const LINTS: &[Lint] = &[
+    Lint {
+        name: "unsafe-needs-safety-comment",
+        desc: "every `unsafe` block/fn/impl must carry a `// SAFETY:` (or `# Safety` doc) justification",
+    },
+    Lint {
+        name: "simd-needs-runtime-dispatch",
+        desc: "#[target_feature]/_mm* intrinsics only in files wired through is_x86_feature_detected! dispatch",
+    },
+    Lint {
+        name: "nondeterministic-api",
+        desc: "no SystemTime/Instant/unseeded RNG/HashMap in numeric crates (fft, linalg, stats, sqg, ensf, letkf)",
+    },
+    Lint {
+        name: "no-alloc-in-hot-path",
+        desc: "functions marked `// lint: no_alloc` must not allocate (Vec::new/push/to_vec/collect/clone/Box::new/...)",
+    },
+    Lint {
+        name: "float-exact-compare",
+        desc: "no `==`/`!=` against float literals in library code (bitwise tests are exempt)",
+    },
+    Lint {
+        name: "panic-in-library",
+        desc: "unwrap/expect/panic! in non-test library code needs an `// INVARIANT:` comment or `# Panics` doc",
+    },
+];
+
+/// True when `name` is a registered lint name.
+pub fn is_known_lint(name: &str) -> bool {
+    LINTS.iter().any(|l| l.name == name)
+}
+
+/// Result of analyzing one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Findings, in source order.
+    pub diags: Vec<Diagnostic>,
+    /// Findings suppressed by `allow(...)` directives.
+    pub suppressed: usize,
+}
+
+/// Everything the lints need to know about one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative display path.
+    pub rel: &'a str,
+    /// Role of the file.
+    pub kind: FileKind,
+    /// True for the numeric crates bound by the determinism contract.
+    pub numeric: bool,
+    /// Source lines (0-indexed storage, 1-indexed queries).
+    pub lines: Vec<&'a str>,
+    /// Lexed tokens.
+    pub tokens: &'a [Token],
+    /// Lexed comments.
+    pub comments: &'a [Comment],
+    /// Structural facts (braces, test regions, fns).
+    pub structure: &'a Structure,
+    /// `fn` body token ranges marked `// lint: no_alloc`, with fn names.
+    pub no_alloc: Vec<(String, usize, usize)>,
+    allow_ranges: Vec<(String, u32, u32)>,
+    comment_by_end_line: BTreeMap<u32, usize>,
+    token_lines: BTreeSet<u32>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Verbatim text of 1-based `line` (empty if out of range).
+    pub fn line_text(&self, line: u32) -> &'a str {
+        self.lines.get(line as usize - 1).copied().unwrap_or("").trim_end()
+    }
+
+    /// True when `line` is inside `#[cfg(test)]` / `#[test]` code or the
+    /// file as a whole is not library code.
+    pub fn in_test_context(&self, line: u32) -> bool {
+        self.kind != FileKind::Library || self.structure.in_test_region(line)
+    }
+
+    /// True when an `allow(<lint>)` directive covers `line`.
+    pub fn allowed(&self, lint: &str, line: u32) -> bool {
+        self.allow_ranges.iter().any(|(l, a, b)| l == lint && *a <= line && line <= *b)
+    }
+
+    /// All comments that touch `line` (including trailing ones).
+    pub fn comments_on_line(&self, line: u32) -> impl Iterator<Item = &Comment> {
+        self.comments.iter().filter(move |c| c.line <= line && line <= c.end_line)
+    }
+
+    /// Concatenated text of the contiguous comment block directly above
+    /// `line`, skipping attribute lines. Empty when there is none.
+    pub fn comment_block_above(&self, line: u32) -> String {
+        let mut acc: Vec<&str> = Vec::new();
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            if let Some(&ci) = self.comment_by_end_line.get(&l) {
+                let c = &self.comments[ci];
+                if c.trailing {
+                    break;
+                }
+                acc.push(&c.text);
+                l = c.line.saturating_sub(1);
+                continue;
+            }
+            if self.structure.attr_lines.contains(&l) {
+                l -= 1;
+                continue;
+            }
+            break;
+        }
+        acc.reverse();
+        acc.join("\n")
+    }
+
+    /// Doc/comment block above the enclosing fn of `line`, if any.
+    pub fn enclosing_fn_doc(&self, line: u32) -> String {
+        match self.structure.enclosing_fn(line) {
+            Some(f) => self.comment_block_above(f.header_line),
+            None => String::new(),
+        }
+    }
+}
+
+/// Collects diagnostics, honoring `allow(...)` coverage.
+pub struct Emitter<'c, 'a> {
+    ctx: &'c FileCtx<'a>,
+    /// Findings so far.
+    pub diags: Vec<Diagnostic>,
+    /// Count of findings suppressed by allow directives.
+    pub suppressed: usize,
+}
+
+impl<'c, 'a> Emitter<'c, 'a> {
+    fn new(ctx: &'c FileCtx<'a>) -> Self {
+        Emitter { ctx, diags: Vec::new(), suppressed: 0 }
+    }
+
+    /// Emits one finding unless an allow directive covers it.
+    pub fn emit(&mut self, lint: &'static str, line: u32, col: u32, message: String, help: &str) {
+        if lint != "lint-directive" && self.ctx.allowed(lint, line) {
+            self.suppressed += 1;
+            return;
+        }
+        self.diags.push(Diagnostic {
+            lint,
+            file: self.ctx.rel.to_string(),
+            line,
+            col,
+            message,
+            snippet: self.ctx.line_text(line).to_string(),
+            help: help.to_string(),
+        });
+    }
+}
+
+/// Analyzes one file's source text.
+pub fn analyze_source(rel: &str, text: &str, kind: FileKind, numeric: bool) -> FileReport {
+    let lexed = lexer::lex(text);
+    let structure = parse::analyze(&lexed.tokens);
+    let directives = allow::parse_directives(&lexed.comments);
+
+    let mut comment_by_end_line = BTreeMap::new();
+    for (i, c) in lexed.comments.iter().enumerate() {
+        comment_by_end_line.insert(c.end_line, i);
+    }
+    let token_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+
+    let mut ctx = FileCtx {
+        rel,
+        kind,
+        numeric,
+        lines: text.lines().collect(),
+        tokens: &lexed.tokens,
+        comments: &lexed.comments,
+        structure: &structure,
+        no_alloc: Vec::new(),
+        allow_ranges: Vec::new(),
+        comment_by_end_line,
+        token_lines,
+    };
+
+    let mut directive_errors: Vec<(u32, String)> = Vec::new();
+    for d in &directives {
+        match d {
+            Directive::Allow { lint, line, trailing, .. } => {
+                if !is_known_lint(lint) {
+                    directive_errors
+                        .push((*line, format!("`allow({lint})` names an unknown lint")));
+                    continue;
+                }
+                let range = if *trailing {
+                    (*line, *line)
+                } else {
+                    allow_coverage(&ctx, *line)
+                };
+                ctx.allow_ranges.push((lint.clone(), range.0, range.1));
+            }
+            Directive::NoAlloc { line } => {
+                match no_alloc_target(&ctx, &structure, *line) {
+                    Some((name, a, b)) => ctx.no_alloc.push((name, a, b)),
+                    None => directive_errors.push((
+                        *line,
+                        "`no_alloc` directive must directly precede a function with a body"
+                            .to_string(),
+                    )),
+                }
+            }
+            Directive::Malformed { line, why } => {
+                directive_errors.push((*line, format!("malformed lint directive: {why}")));
+            }
+        }
+    }
+
+    let mut em = Emitter::new(&ctx);
+    for (line, msg) in directive_errors {
+        em.emit(
+            "lint-directive",
+            line,
+            1,
+            msg,
+            "directives look like `// lint: allow(<lint>, reason=\"...\")` or `// lint: no_alloc`",
+        );
+    }
+    lints::run_all(&ctx, &mut em);
+    em.diags.sort_by(|a, b| (a.line, a.col, a.lint).cmp(&(b.line, b.col, b.lint)));
+    FileReport { diags: em.diags, suppressed: em.suppressed }
+}
+
+/// Line range an own-line `allow` directive at `line` covers: the next code
+/// line, extended to the whole brace block when that line opens one.
+fn allow_coverage(ctx: &FileCtx<'_>, line: u32) -> (u32, u32) {
+    let Some(&next_line) = ctx.token_lines.iter().find(|&&l| l > line) else {
+        return (line, line);
+    };
+    // INVARIANT: next_line came from token_lines, so a token on it exists.
+    let idx = ctx.tokens.iter().position(|t| t.line == next_line).unwrap();
+    match parse::body_block(ctx.tokens, &ctx.structure.brace_pair, idx) {
+        Some((_, close)) => (next_line, ctx.tokens[close].line),
+        None => (next_line, next_line),
+    }
+}
+
+/// Resolves a `no_alloc` directive to the next `fn`'s name and body token
+/// range. The fn keyword must start within 8 lines (attributes may
+/// intervene), and the fn must have a body.
+fn no_alloc_target(
+    ctx: &FileCtx<'_>,
+    structure: &Structure,
+    line: u32,
+) -> Option<(String, usize, usize)> {
+    let &next_line = ctx.token_lines.iter().find(|&&l| l > line)?;
+    let idx = ctx.tokens.iter().position(|t| t.line == next_line)?;
+    let f = structure
+        .fns
+        .iter()
+        .filter(|f| f.kw_idx >= idx && f.header_line <= line + 8)
+        .min_by_key(|f| f.kw_idx)?;
+    let (a, b) = f.body_tokens?;
+    Some((f.name.clone(), a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_report(src: &str) -> FileReport {
+        analyze_source("mem.rs", src, FileKind::Library, true)
+    }
+
+    #[test]
+    fn clean_source_is_clean() {
+        let r = lib_report("/// Adds.\npub fn add(a: u64, b: u64) -> u64 { a + b }\n");
+        assert!(r.diags.is_empty(), "{:?}", r.diags);
+    }
+
+    #[test]
+    fn allow_suppresses_and_counts() {
+        let src = "fn f(x: f64) -> bool {\n    // lint: allow(float-exact-compare, reason=\"exact sentinel\")\n    x == 0.0\n}\n";
+        let r = lib_report(src);
+        assert!(r.diags.is_empty(), "{:?}", r.diags);
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn allow_on_fn_covers_whole_body() {
+        let src = "// lint: allow(float-exact-compare, reason=\"exact sentinels throughout\")\nfn f(x: f64, y: f64) -> bool {\n    let a = x == 0.0;\n    let b = y != 1.0;\n    a && b\n}\n";
+        let r = lib_report(src);
+        assert!(r.diags.is_empty(), "{:?}", r.diags);
+        assert_eq!(r.suppressed, 2);
+    }
+
+    #[test]
+    fn unknown_lint_in_allow_is_error() {
+        let src = "// lint: allow(no-such-lint, reason=\"typo\")\nfn f() {}\n";
+        let r = lib_report(src);
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].lint, "lint-directive");
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_panic_lint() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        let r = lib_report(src);
+        assert!(r.diags.is_empty(), "{:?}", r.diags);
+    }
+}

@@ -1,0 +1,130 @@
+//! `analyzer` CLI.
+//!
+//! ```text
+//! cargo run -p analyzer -- check [--json] [--root DIR] [FILE...]
+//! cargo run -p analyzer -- lints
+//! ```
+//!
+//! `check` with no FILE arguments scans the whole workspace (honoring each
+//! file's crate/test classification). With explicit FILE arguments it runs
+//! in *fixture mode*: every file is treated as library code in a numeric
+//! crate, so all six lints apply — that is what the self-test corpus and the
+//! CI fixture step rely on.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use analyzer::{analyze_source, diag::json_str, workspace, Diagnostic, FileKind, LINTS};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("lints") => {
+            for l in LINTS {
+                println!("{:<28} {}", l.name, l.desc);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: analyzer check [--json] [--root DIR] [FILE...]\n       analyzer lints");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`");
+                return ExitCode::from(2);
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+
+    let worklist = if files.is_empty() {
+        match workspace::discover(&root) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("analyzer: cannot walk {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        // Fixture mode: all lints apply to every explicit file.
+        files
+            .into_iter()
+            .map(|p| {
+                let rel = p.to_string_lossy().into_owned();
+                workspace::WorkFile { path: p, rel, kind: FileKind::Library, numeric: true }
+            })
+            .collect()
+    };
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut suppressed = 0usize;
+    let mut files_scanned = 0usize;
+    for wf in &worklist {
+        let text = match std::fs::read_to_string(&wf.path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("analyzer: cannot read {}: {e}", wf.rel);
+                return ExitCode::from(2);
+            }
+        };
+        files_scanned += 1;
+        let report = analyze_source(&wf.rel, &text, wf.kind, wf.numeric);
+        suppressed += report.suppressed;
+        diags.extend(report.diags);
+    }
+    diags.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for d in &diags {
+        *counts.entry(d.lint).or_insert(0) += 1;
+    }
+
+    if json {
+        let findings: Vec<String> = diags.iter().map(Diagnostic::to_json).collect();
+        let count_fields: Vec<String> =
+            counts.iter().map(|(k, v)| format!("{}:{}", json_str(k), v)).collect();
+        println!(
+            "{{\"id\":\"analyzer\",\"version\":1,\"files_scanned\":{},\"suppressed\":{},\"counts\":{{{}}},\"findings\":[{}]}}",
+            files_scanned,
+            suppressed,
+            count_fields.join(","),
+            findings.join(","),
+        );
+    } else {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+        println!(
+            "analyzer: {} finding(s), {} suppressed by allow, {} file(s) scanned",
+            diags.len(),
+            suppressed,
+            files_scanned
+        );
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

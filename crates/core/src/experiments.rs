@@ -135,6 +135,11 @@ pub fn pretrain_surrogate(config: &ComparisonConfig) -> VitSurrogate {
 ///
 /// `surrogate` is consumed (its weights continue to adapt online inside the
 /// ViT+EnSF run); pre-train it with [`pretrain_surrogate`].
+///
+/// INVARIANT: each `run_experiment` call below uses a model/scheme pair
+/// built from the same `config.osse`, so the shape checks it performs
+/// cannot fail — the `.expect`s document that consistency, not a real
+/// error path.
 pub fn run_comparison(config: &ComparisonConfig, mut surrogate: VitSurrogate) -> Comparison {
     let nature = nature_run_with_error(&config.osse, config.model_error_instance(0xA7));
     let mut series = Vec::with_capacity(4);

@@ -95,7 +95,7 @@ impl ModelError {
                 var += sd * sd;
             }
         }
-        if var == 0.0 {
+        if var == 0.0 { // lint: allow(float-exact-compare, reason="no component fired iff the sum is exactly 0.0")
             return 0.0;
         }
         let sd = var.sqrt();

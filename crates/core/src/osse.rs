@@ -218,8 +218,9 @@ pub fn run_experiment(
                 label: label.to_string(),
                 cycle,
                 hours: (cycle + 1) as f64 * config.obs_interval_hours,
+                // INVARIANT: both series were pushed to this cycle above.
                 rmse: *rmse.last().unwrap(),
-                spread: *spread.last().unwrap(),
+                spread: *spread.last().unwrap(), // INVARIANT: pushed above
                 obs_count: nature.observations[cycle].len(),
                 phases: vec![
                     ("forecast".to_string(), forecast_secs.unwrap_or(0.0)),

@@ -418,9 +418,10 @@ fn cycle_loop(
             telemetry::record_cycle(telemetry::CycleRecord {
                 label: label.to_string(),
                 cycle,
+                // INVARIANT: all three series were pushed to this cycle above.
                 hours: *hours.last().unwrap(),
-                rmse: *rmse.last().unwrap(),
-                spread: *spread.last().unwrap(),
+                rmse: *rmse.last().unwrap(), // INVARIANT: pushed above
+                spread: *spread.last().unwrap(), // INVARIANT: pushed above
                 obs_count: obs.as_ref().map_or(0, Vec::len),
                 phases: vec![
                     ("forecast".to_string(), forecast_secs.unwrap_or(0.0)),

@@ -98,6 +98,7 @@ impl BatchedScore {
     ///
     /// `weights` (`b x J`) and `znorm` (`b`) are scratch; `weights` holds
     /// the normalized softmax weights on return.
+    // lint: no_alloc
     pub fn score_block_into(
         &self,
         z: &[f64],
@@ -112,7 +113,7 @@ impl BatchedScore {
         assert_eq!(out.len(), b * d);
         assert_eq!(weights.len(), b * j);
         assert_eq!(znorm.len(), b);
-        let timer = telemetry::enabled().then(std::time::Instant::now);
+        let timer = telemetry::enabled().then(std::time::Instant::now); // lint: allow(nondeterministic-api, reason="telemetry wall-clock timing; never feeds the numerics")
 
         let alpha = self.schedule.alpha(t);
         let beta_sq = self.schedule.beta_sq(t);
@@ -173,6 +174,7 @@ impl BatchScratch {
 /// for operation — exponential linear step, explicit prior score, final-step
 /// noise omission, damped likelihood pull — so the two paths agree to
 /// floating-point reassociation and draw identical noise.
+// lint: no_alloc
 #[allow(clippy::too_many_arguments)]
 pub fn reverse_sde_assimilate_batched<R: Rng>(
     z: &mut [f64],
@@ -229,7 +231,7 @@ pub fn reverse_sde_assimilate_batched<R: Rng>(
             // Drift as one vectorized pass, then the serial noise stream
             // (RNG call order per particle is the reference contract).
             scale_add(zrow, decay, srow, sig2 * dt);
-            if noise_amp != 0.0 {
+            if noise_amp != 0.0 { // lint: allow(float-exact-compare, reason="noise_amp is set to exactly 0.0 on the final step")
                 for zi in zrow.iter_mut() {
                     *zi += noise_amp * sampler.sample(rng);
                 }

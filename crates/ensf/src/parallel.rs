@@ -57,6 +57,10 @@ impl RankPlan {
 /// Functionally identical to [`Ensf::analyze`] with no mini-batching; used
 /// by the weak-scaling benchmark (Fig. 10) where each rank's wall time is
 /// measured independently.
+///
+/// # Panics
+/// Panics when `config` fails validation, `y` does not match the operator's
+/// observation dimension, or `plan` does not cover the ensemble.
 pub fn analyze_partitioned(
     config: &EnsfConfig,
     cycle: u64,

@@ -68,7 +68,7 @@ impl<'a> ScoreEstimator<'a> {
         assert_eq!(z.len(), self.dim);
         assert_eq!(out.len(), self.dim);
         assert_eq!(scratch.len(), self.batch.len());
-        let timer = telemetry::enabled().then(std::time::Instant::now);
+        let timer = telemetry::enabled().then(std::time::Instant::now); // lint: allow(nondeterministic-api, reason="telemetry wall-clock timing; never feeds the numerics")
 
         let alpha = self.schedule.alpha(t);
         let beta_sq = self.schedule.beta_sq(t);
@@ -103,7 +103,7 @@ impl<'a> ScoreEstimator<'a> {
         let inv_b2 = 1.0 / beta_sq;
         for (w, &j) in scratch.iter().zip(&self.batch) {
             let wj = w * inv_total;
-            if wj == 0.0 {
+            if wj == 0.0 { // lint: allow(float-exact-compare, reason="exact-zero softmax weight skip is a bitwise no-op")
                 continue;
             }
             let xj = &self.ensemble[j * self.dim..(j + 1) * self.dim];

@@ -168,7 +168,7 @@ pub fn reverse_sde_stiff<R: Rng + ?Sized>(
             let noise_amp = if is_final { 0.0 } else { sig * dt.sqrt() };
             for (zi, si) in z.iter_mut().zip(&s) {
                 *zi = decay * *zi + sig2 * si * dt;
-                if noise_amp != 0.0 {
+                if noise_amp != 0.0 { // lint: allow(float-exact-compare, reason="noise_amp is set to exactly 0.0 on the final step")
                     *zi += noise_amp * standard_normal(rng);
                 }
             }
@@ -222,7 +222,7 @@ pub fn reverse_sde_assimilate<R: Rng + ?Sized>(
         let noise_amp = if is_final { 0.0 } else { sig * dt.sqrt() };
         for (zi, si) in z.iter_mut().zip(&s) {
             *zi = decay * *zi + sig2 * si * dt;
-            if noise_amp != 0.0 {
+            if noise_amp != 0.0 { // lint: allow(float-exact-compare, reason="noise_amp is set to exactly 0.0 on the final step")
                 *zi += noise_amp * standard_normal(rng);
             }
         }

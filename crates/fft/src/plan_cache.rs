@@ -16,12 +16,14 @@
 use crate::fft2::Fft2;
 use crate::plan::Direction;
 use parking_lot::RwLock;
+// lint: allow(nondeterministic-api, reason="keyed get/insert only; the plan map is never iterated")
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 type Key = (usize, usize, Direction);
 
+// lint: allow(nondeterministic-api, reason="keyed get/insert only; the plan map is never iterated")
 fn cache() -> &'static RwLock<HashMap<Key, Arc<Fft2>>> {
     static CACHE: OnceLock<RwLock<HashMap<Key, Arc<Fft2>>>> = OnceLock::new();
     CACHE.get_or_init(|| RwLock::new(HashMap::new()))

@@ -52,15 +52,25 @@ impl Comm {
     }
 
     /// Blocking receive of the next message from `src` with `tag`.
-    /// Messages from other sources/tags arriving first are buffered.
+    /// Messages from other sources/tags arriving first are buffered, and
+    /// same-`(src, tag)` messages are delivered in send order (MPI's
+    /// non-overtaking guarantee).
+    ///
+    /// # Panics
+    /// Panics if every other rank has exited without sending a matching
+    /// message (the simulated analogue of an MPI abort on deadlock).
     pub fn recv(&self, src: usize, tag: u64) -> Vec<f64> {
-        // Check the out-of-order buffer first.
+        // Check the out-of-order buffer first. `remove` (not `swap_remove`)
+        // keeps the buffer in arrival order: with several same-(src, tag)
+        // messages buffered, swap_remove would move the *newest* message
+        // into the scan position and deliver it second — reordering a FIFO
+        // stream (caught by the proptest interleaving model).
         {
             let mut pending = self.pending.borrow_mut();
             if let Some(pos) =
                 pending.iter().position(|m| m.src == src && m.tag == tag)
             {
-                return pending.swap_remove(pos).data;
+                return pending.remove(pos).data;
             }
         }
         loop {
@@ -134,7 +144,11 @@ impl Comm {
 }
 
 /// Runs `f` on `size` concurrent ranks and returns their results in rank
-/// order. Panics in any rank propagate.
+/// order.
+///
+/// # Panics
+/// Panics when `size == 0` or when any rank's closure panics (the panic is
+/// propagated to the caller).
 pub fn run_world<R, F>(size: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -175,6 +189,8 @@ where
             *slot = Some(h.join().expect("rank panicked"));
         }
     });
+    // INVARIANT: every handle joined successfully above, so each slot holds
+    // Some(result).
     results.into_iter().map(|r| r.expect("rank produced no result")).collect()
 }
 
@@ -260,6 +276,28 @@ mod tests {
             }
         });
         assert_eq!(out[1], 12.0);
+    }
+
+    #[test]
+    fn buffered_same_key_messages_stay_fifo() {
+        // Regression: with >= 3 same-(src, tag) messages parked in the
+        // out-of-order buffer, `swap_remove` delivered the newest message
+        // second (0, 3, 2, 1 here). `remove` preserves send order.
+        let out = run_world(2, |c| {
+            if c.rank() == 0 {
+                for seq in 0..4 {
+                    c.send(1, 1, &[seq as f64]);
+                }
+                c.send(1, 2, &[99.0]);
+                Vec::new()
+            } else {
+                // Draining tag 2 first forces all four tag-1 messages
+                // through the pending buffer.
+                assert_eq!(c.recv(0, 2), vec![99.0]);
+                (0..4).map(|_| c.recv(0, 1)[0]).collect::<Vec<f64>>()
+            }
+        });
+        assert_eq!(out[1], vec![0.0, 1.0, 2.0, 3.0]);
     }
 
     #[test]

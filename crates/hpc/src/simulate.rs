@@ -28,6 +28,9 @@ pub struct TrainJob {
 impl TrainJob {
     /// The Table II job for a given input size, with the per-GCD batch
     /// set by the 64 GB activation budget (≈ tokens · d · depth bound).
+    ///
+    /// # Panics
+    /// Panics for input sizes other than the paper's 64/128/256.
     pub fn table2(input_size: usize) -> TrainJob {
         let (params, tokens, shape, batch): (u64, usize, KernelShape, usize) = match input_size {
             64 => (

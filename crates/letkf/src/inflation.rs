@@ -16,7 +16,7 @@ pub fn rtps(analysis: &mut Ensemble, forecast: &Ensemble, alpha: f64) {
     assert!((0.0..=1.0).contains(&alpha), "RTPS alpha must be in [0,1]");
     assert_eq!(analysis.dim(), forecast.dim());
     assert_eq!(analysis.members(), forecast.members());
-    if alpha == 0.0 {
+    if alpha == 0.0 { // lint: allow(float-exact-compare, reason="alpha = 0 is the documented exact no-op sentinel")
         return;
     }
     let var_a = analysis.variance();

@@ -45,13 +45,13 @@ pub fn solve_local(yb: &Matrix, innov: &[f64], inv_r: &[f64]) -> LocalTransform 
     let mut g = vec![0.0; m];
     for j in 0..p {
         let w = inv_r[j];
-        if w == 0.0 {
+        if w == 0.0 { // lint: allow(float-exact-compare, reason="exact-zero weight skip is a bitwise no-op")
             continue;
         }
         let row = yb.row(j);
         for i in 0..m {
             let wi = w * row[i];
-            if wi == 0.0 {
+            if wi == 0.0 { // lint: allow(float-exact-compare, reason="exact-zero weight skip is a bitwise no-op")
                 continue;
             }
             g[i] += wi * innov[j];

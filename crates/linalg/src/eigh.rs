@@ -108,12 +108,12 @@ impl SymEig {
         let mut out = Matrix::zeros(n, n);
         for k in 0..n {
             let fk = f(self.values[k]);
-            if fk == 0.0 {
+            if fk == 0.0 { // lint: allow(float-exact-compare, reason="exact-zero term skip is a bitwise no-op")
                 continue;
             }
             for r in 0..n {
                 let vr = v[(r, k)] * fk;
-                if vr == 0.0 {
+                if vr == 0.0 { // lint: allow(float-exact-compare, reason="exact-zero term skip is a bitwise no-op")
                     continue;
                 }
                 for c in 0..n {

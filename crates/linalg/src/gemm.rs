@@ -66,9 +66,16 @@ pub fn matmul_slices_into(a: &[f64], b: &[f64], m: usize, k: usize, n: usize, c:
     telemetry::counter_add("linalg.gemm.flops", (2 * m * n * k) as u64);
     #[cfg(target_arch = "x86_64")]
     match simd::level() {
-        // SAFETY: level() only reports instruction sets the CPU supports.
-        simd::Level::Avx512 => return unsafe { simd::avx512::matmul_slices(a, b, m, k, n, c, None) },
-        simd::Level::Avx2 => return unsafe { simd::avx2::matmul_slices(a, b, m, k, n, c, None) },
+        simd::Level::Avx512 => {
+            // SAFETY: level() only reports instruction sets the CPU
+            // supports, and the shape asserts above establish the kernel's
+            // slice-length contract.
+            return unsafe { simd::avx512::matmul_slices(a, b, m, k, n, c, None) };
+        }
+        simd::Level::Avx2 => {
+            // SAFETY: as above for the AVX2+FMA tier.
+            return unsafe { simd::avx2::matmul_slices(a, b, m, k, n, c, None) };
+        }
         simd::Level::Scalar => {}
     }
     matmul_slices_scalar(a, b, m, k, n, c);
@@ -103,12 +110,15 @@ pub fn matmul_slices_affine_into(
     telemetry::counter_add("linalg.gemm.flops", (2 * m * n * k) as u64);
     #[cfg(target_arch = "x86_64")]
     match simd::level() {
-        // SAFETY: level() only reports instruction sets the CPU supports.
         simd::Level::Avx512 => {
-            return unsafe { simd::avx512::matmul_slices(a, b, m, k, n, c, Some((z, ca, cb))) }
+            // SAFETY: level() only reports instruction sets the CPU
+            // supports, and the shape asserts above establish the kernel's
+            // slice-length contract (including `z`).
+            return unsafe { simd::avx512::matmul_slices(a, b, m, k, n, c, Some((z, ca, cb))) };
         }
         simd::Level::Avx2 => {
-            return unsafe { simd::avx2::matmul_slices(a, b, m, k, n, c, Some((z, ca, cb))) }
+            // SAFETY: as above for the AVX2+FMA tier.
+            return unsafe { simd::avx2::matmul_slices(a, b, m, k, n, c, Some((z, ca, cb))) };
         }
         simd::Level::Scalar => {}
     }
@@ -133,7 +143,7 @@ fn matmul_slices_scalar(a: &[f64], b: &[f64], m: usize, k: usize, n: usize, c: &
                 let j_end = (jj + JC).min(n);
                 for p in kk..k_end {
                     let aval = a_row[p];
-                    if aval == 0.0 {
+                    if aval == 0.0 { // lint: allow(float-exact-compare, reason="exact-zero coefficient skip is a bitwise no-op")
                         continue;
                     }
                     let b_row = &b_buf[p * n..p * n + n];
@@ -169,7 +179,7 @@ pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
         let a_row = &a_buf[p * m..(p + 1) * m];
         let b_row = &b_buf[p * n..(p + 1) * n];
         for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
+            if av == 0.0 { // lint: allow(float-exact-compare, reason="exact-zero coefficient skip is a bitwise no-op")
                 continue;
             }
             let c_row = &mut c.as_mut_slice()[i * n..(i + 1) * n];
@@ -211,9 +221,16 @@ pub fn matmul_abt_into(a: &[f64], b: &[f64], m: usize, n: usize, k: usize, c: &m
     telemetry::counter_add("linalg.gemm.flops", (2 * m * n * k) as u64);
     #[cfg(target_arch = "x86_64")]
     match simd::level() {
-        // SAFETY: level() only reports instruction sets the CPU supports.
-        simd::Level::Avx512 => return unsafe { simd::avx512::matmul_abt(a, b, m, n, k, c) },
-        simd::Level::Avx2 => return unsafe { simd::avx2::matmul_abt(a, b, m, n, k, c) },
+        simd::Level::Avx512 => {
+            // SAFETY: level() only reports instruction sets the CPU
+            // supports, and the shape asserts above establish the kernel's
+            // slice-length contract.
+            return unsafe { simd::avx512::matmul_abt(a, b, m, n, k, c) };
+        }
+        simd::Level::Avx2 => {
+            // SAFETY: as above for the AVX2+FMA tier.
+            return unsafe { simd::avx2::matmul_abt(a, b, m, n, k, c) };
+        }
         simd::Level::Scalar => {}
     }
     matmul_abt_scalar(a, b, m, n, k, c);
@@ -303,15 +320,17 @@ pub fn row_sq_norms(a: &[f64], rows: usize, cols: usize, out: &mut [f64]) {
     assert_eq!(out.len(), rows, "row_sq_norms: output length mismatch");
     #[cfg(target_arch = "x86_64")]
     match simd::level() {
-        // SAFETY: level() only reports instruction sets the CPU supports.
         simd::Level::Avx512 => {
             for (o, row) in out.iter_mut().zip(a.chunks_exact(cols)) {
+                // SAFETY: level() only reports instruction sets the CPU
+                // supports; both operands are the same in-bounds row.
                 *o = unsafe { simd::avx512::dot(row, row) };
             }
             return;
         }
         simd::Level::Avx2 => {
             for (o, row) in out.iter_mut().zip(a.chunks_exact(cols)) {
+                // SAFETY: as above for the AVX2+FMA tier.
                 *o = unsafe { simd::avx2::dot(row, row) };
             }
             return;
@@ -355,6 +374,8 @@ impl GemmScratch {
         }
         let mut it = self.pool.iter_mut();
         lens.map(|len| {
+            // INVARIANT: the pool was just resized to at least N entries, so
+            // the iterator yields one buffer per requested length.
             let buf = it.next().expect("pool sized above");
             if buf.len() < len {
                 buf.resize(len, 0.0);
@@ -377,7 +398,7 @@ pub fn matvec_t(a: &Matrix, x: &[f64]) -> Vec<f64> {
     assert_eq!(m, x.len(), "matvec_t: dimension mismatch");
     let mut y = vec![0.0; n];
     for (i, &xi) in x.iter().enumerate() {
-        if xi == 0.0 {
+        if xi == 0.0 { // lint: allow(float-exact-compare, reason="exact-zero coefficient skip is a bitwise no-op")
             continue;
         }
         crate::vector::axpy(xi, a.row(i), &mut y);

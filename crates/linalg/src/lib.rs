@@ -21,6 +21,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Every unsafe operation inside an `unsafe fn` must sit in its own
+// `unsafe {}` block with a `// SAFETY:` justification (checked by the
+// in-tree analyzer).
+#![deny(unsafe_op_in_unsafe_fn)]
 // Numeric kernels here read/write several arrays at matched indices;
 // explicit index loops are the clearer idiom (dense kernels index multiple parallel arrays).
 #![allow(clippy::needless_range_loop)]

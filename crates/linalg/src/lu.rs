@@ -53,7 +53,7 @@ impl Lu {
                     p = r;
                 }
             }
-            if best == 0.0 || !best.is_finite() {
+            if best == 0.0 || !best.is_finite() { // lint: allow(float-exact-compare, reason="an exactly-zero pivot column is the singularity sentinel")
                 return Err(Singular { column: col });
             }
             if p != col {

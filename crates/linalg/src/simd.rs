@@ -72,94 +72,121 @@ pub(crate) mod avx512 {
 
     /// Fixed pairwise combine of the 8 lane partials; shared by every
     /// AVX-512 reduction so tile and edge paths agree bit for bit.
+    ///
+    /// # Safety
+    /// AVX-512F must be available; every caller is itself gated on
+    /// `#[target_feature(enable = "avx512f")]`.
     #[inline(always)]
     unsafe fn hsum(acc: __m512d) -> f64 {
         let mut l = [0.0f64; 8];
-        _mm512_storeu_pd(l.as_mut_ptr(), acc);
+        // SAFETY: `l` is a 64-byte local array and `storeu` is unaligned;
+        // AVX-512F availability is this fn's documented contract.
+        unsafe { _mm512_storeu_pd(l.as_mut_ptr(), acc) };
         ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
     }
 
     /// Dot product as one 8-lane FMA chain plus ascending scalar remainder.
+    ///
+    /// # Safety
+    /// AVX-512F must be available at runtime (the dispatcher checks
+    /// `is_x86_feature_detected!`) and `b.len() >= a.len()`.
+    // lint: no_alloc
     #[target_feature(enable = "avx512f")]
     pub unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
         let k = a.len();
-        let mut acc = _mm512_setzero_pd();
-        let chunks = k / 8;
-        for c in 0..chunks {
-            let av = _mm512_loadu_pd(a.as_ptr().add(c * 8));
-            let bv = _mm512_loadu_pd(b.as_ptr().add(c * 8));
-            acc = _mm512_fmadd_pd(av, bv, acc);
+        // SAFETY: each 8-lane load reads `a[c*8..c*8+8]` / `b[c*8..c*8+8]`
+        // with `c*8 + 8 <= k <= b.len()`, so all pointers stay in bounds;
+        // the ISA requirement is the fn's documented safety contract.
+        unsafe {
+            let mut acc = _mm512_setzero_pd();
+            let chunks = k / 8;
+            for c in 0..chunks {
+                let av = _mm512_loadu_pd(a.as_ptr().add(c * 8));
+                let bv = _mm512_loadu_pd(b.as_ptr().add(c * 8));
+                acc = _mm512_fmadd_pd(av, bv, acc);
+            }
+            let mut sum = hsum(acc);
+            for p in chunks * 8..k {
+                sum = a[p].mul_add(b[p], sum);
+            }
+            sum
         }
-        let mut sum = hsum(acc);
-        for p in chunks * 8..k {
-            sum = a[p].mul_add(b[p], sum);
-        }
-        sum
     }
 
     /// `C = A·Bᵀ`: 4x4 register tiles of 16 independent chains; edge
     /// elements fall back to [`dot`], which performs the identical
     /// per-element operation sequence.
+    ///
+    /// # Safety
+    /// AVX-512F must be available at runtime; `a` is `m×k`, `b` is `n×k`,
+    /// and `c` holds at least `m·n` elements (row-major).
+    // lint: no_alloc
     #[target_feature(enable = "avx512f")]
     pub unsafe fn matmul_abt(a: &[f64], b: &[f64], m: usize, n: usize, k: usize, c: &mut [f64]) {
         const T: usize = 4;
-        let chunks = k / 8;
-        let mut i0 = 0;
-        while i0 < m {
-            let ih = T.min(m - i0);
-            let mut j0 = 0;
-            while j0 < n {
-                let jh = T.min(n - j0);
-                if ih == T && jh == T {
-                    let ap = [
-                        a.as_ptr().add(i0 * k),
-                        a.as_ptr().add((i0 + 1) * k),
-                        a.as_ptr().add((i0 + 2) * k),
-                        a.as_ptr().add((i0 + 3) * k),
-                    ];
-                    let bp = [
-                        b.as_ptr().add(j0 * k),
-                        b.as_ptr().add((j0 + 1) * k),
-                        b.as_ptr().add((j0 + 2) * k),
-                        b.as_ptr().add((j0 + 3) * k),
-                    ];
-                    let mut acc = [[_mm512_setzero_pd(); T]; T];
-                    for ch in 0..chunks {
-                        let off = ch * 8;
-                        let bv = [
-                            _mm512_loadu_pd(bp[0].add(off)),
-                            _mm512_loadu_pd(bp[1].add(off)),
-                            _mm512_loadu_pd(bp[2].add(off)),
-                            _mm512_loadu_pd(bp[3].add(off)),
+        // SAFETY: the full-tile path only runs when 4 whole rows of `a` and
+        // `b` exist, so the row pointers and their `off + 8 <= k` loads stay
+        // inside the slices; edge tiles use safe indexing through [`dot`].
+        // The ISA requirement is the fn's documented safety contract.
+        unsafe {
+            let chunks = k / 8;
+            let mut i0 = 0;
+            while i0 < m {
+                let ih = T.min(m - i0);
+                let mut j0 = 0;
+                while j0 < n {
+                    let jh = T.min(n - j0);
+                    if ih == T && jh == T {
+                        let ap = [
+                            a.as_ptr().add(i0 * k),
+                            a.as_ptr().add((i0 + 1) * k),
+                            a.as_ptr().add((i0 + 2) * k),
+                            a.as_ptr().add((i0 + 3) * k),
                         ];
-                        for (di, &api) in ap.iter().enumerate() {
-                            let av = _mm512_loadu_pd(api.add(off));
-                            for (dj, &bvj) in bv.iter().enumerate() {
-                                acc[di][dj] = _mm512_fmadd_pd(av, bvj, acc[di][dj]);
+                        let bp = [
+                            b.as_ptr().add(j0 * k),
+                            b.as_ptr().add((j0 + 1) * k),
+                            b.as_ptr().add((j0 + 2) * k),
+                            b.as_ptr().add((j0 + 3) * k),
+                        ];
+                        let mut acc = [[_mm512_setzero_pd(); T]; T];
+                        for ch in 0..chunks {
+                            let off = ch * 8;
+                            let bv = [
+                                _mm512_loadu_pd(bp[0].add(off)),
+                                _mm512_loadu_pd(bp[1].add(off)),
+                                _mm512_loadu_pd(bp[2].add(off)),
+                                _mm512_loadu_pd(bp[3].add(off)),
+                            ];
+                            for (di, &api) in ap.iter().enumerate() {
+                                let av = _mm512_loadu_pd(api.add(off));
+                                for (dj, &bvj) in bv.iter().enumerate() {
+                                    acc[di][dj] = _mm512_fmadd_pd(av, bvj, acc[di][dj]);
+                                }
+                            }
+                        }
+                        for di in 0..T {
+                            for dj in 0..T {
+                                let mut sum = hsum(acc[di][dj]);
+                                for p in chunks * 8..k {
+                                    sum = (*ap[di].add(p)).mul_add(*bp[dj].add(p), sum);
+                                }
+                                c[(i0 + di) * n + j0 + dj] = sum;
+                            }
+                        }
+                    } else {
+                        for di in 0..ih {
+                            let ar = &a[(i0 + di) * k..(i0 + di + 1) * k];
+                            for dj in 0..jh {
+                                let br = &b[(j0 + dj) * k..(j0 + dj + 1) * k];
+                                c[(i0 + di) * n + j0 + dj] = dot(ar, br);
                             }
                         }
                     }
-                    for di in 0..T {
-                        for dj in 0..T {
-                            let mut sum = hsum(acc[di][dj]);
-                            for p in chunks * 8..k {
-                                sum = (*ap[di].add(p)).mul_add(*bp[dj].add(p), sum);
-                            }
-                            c[(i0 + di) * n + j0 + dj] = sum;
-                        }
-                    }
-                } else {
-                    for di in 0..ih {
-                        let ar = &a[(i0 + di) * k..(i0 + di + 1) * k];
-                        for dj in 0..jh {
-                            let br = &b[(j0 + dj) * k..(j0 + dj + 1) * k];
-                            c[(i0 + di) * n + j0 + dj] = dot(ar, br);
-                        }
-                    }
+                    j0 += T;
                 }
-                j0 += T;
+                i0 += T;
             }
-            i0 += T;
         }
     }
 
@@ -174,6 +201,11 @@ pub(crate) mod avx512 {
     /// multiply per element — the same per-element arithmetic as
     /// [`scale_add`], so fused and unfused sequences agree bit for bit
     /// while saving a full read+write pass over `C`).
+    ///
+    /// # Safety
+    /// AVX-512F must be available at runtime; `a` is `m×k`, `b` is `k×n`,
+    /// `c` (and `z` when `epi` is set) hold at least `m·n` elements.
+    // lint: no_alloc
     #[target_feature(enable = "avx512f")]
     pub unsafe fn matmul_slices(
         a: &[f64],
@@ -185,81 +217,95 @@ pub(crate) mod avx512 {
         epi: Option<(&[f64], f64, f64)>,
     ) {
         const T: usize = 4;
-        let vcols = n / 8 * 8;
-        let epiv = epi.map(|(z, ca, cb)| (z, _mm512_set1_pd(ca), _mm512_set1_pd(cb)));
-        let mut i0 = 0;
-        while i0 < m {
-            let ih = T.min(m - i0);
-            // Union skip list: p contributes iff any of the tile's rows has
-            // a nonzero coefficient (per-row zero coefficients are exact
-            // no-ops, so the union never changes a row's value).
-            let mut jv = 0;
-            while jv < vcols {
-                let mut acc = [_mm512_setzero_pd(); T];
-                for p in 0..k {
-                    let mut any = false;
-                    for di in 0..ih {
-                        any |= a[(i0 + di) * k + p] != 0.0;
-                    }
-                    if !any {
-                        continue;
-                    }
-                    let bv = _mm512_loadu_pd(b.as_ptr().add(p * n + jv));
-                    for (di, accd) in acc.iter_mut().enumerate().take(ih) {
-                        let av = _mm512_set1_pd(a[(i0 + di) * k + p]);
-                        *accd = _mm512_fmadd_pd(av, bv, *accd);
-                    }
-                }
-                for (di, accd) in acc.iter().enumerate().take(ih) {
-                    let off = (i0 + di) * n + jv;
-                    let r = match epiv {
-                        Some((z, cav, cbv)) => {
-                            let zv = _mm512_loadu_pd(z.as_ptr().add(off));
-                            _mm512_fmadd_pd(cav, *accd, _mm512_mul_pd(cbv, zv))
-                        }
-                        None => *accd,
-                    };
-                    _mm512_storeu_pd(c.as_mut_ptr().add(off), r);
-                }
-                jv += 8;
-            }
-            for j in vcols..n {
-                for di in 0..ih {
-                    let mut sum = 0.0f64;
+        // SAFETY: panel loads/stores touch `jv..jv+8` with `jv + 8 <= vcols
+        // <= n`, inside rows `< m` of `b`/`c`/`z`; the scalar column tail
+        // uses safe indexing. ISA availability is the documented contract.
+        unsafe {
+            let vcols = n / 8 * 8;
+            let epiv = epi.map(|(z, ca, cb)| (z, _mm512_set1_pd(ca), _mm512_set1_pd(cb)));
+            let mut i0 = 0;
+            while i0 < m {
+                let ih = T.min(m - i0);
+                // Union skip list: p contributes iff any of the tile's rows
+                // has a nonzero coefficient (per-row zero coefficients are
+                // exact no-ops, so the union never changes a row's value).
+                let mut jv = 0;
+                while jv < vcols {
+                    let mut acc = [_mm512_setzero_pd(); T];
                     for p in 0..k {
-                        let av = a[(i0 + di) * k + p];
-                        if av != 0.0 {
-                            sum = av.mul_add(b[p * n + j], sum);
+                        let mut any = false;
+                        for di in 0..ih {
+                            any |= a[(i0 + di) * k + p] != 0.0; // lint: allow(float-exact-compare, reason="exact-zero coefficient skip is a bitwise no-op")
+                        }
+                        if !any {
+                            continue;
+                        }
+                        let bv = _mm512_loadu_pd(b.as_ptr().add(p * n + jv));
+                        for (di, accd) in acc.iter_mut().enumerate().take(ih) {
+                            let av = _mm512_set1_pd(a[(i0 + di) * k + p]);
+                            *accd = _mm512_fmadd_pd(av, bv, *accd);
                         }
                     }
-                    let idx = (i0 + di) * n + j;
-                    c[idx] = match epi {
-                        Some((z, ca, cb)) => ca.mul_add(sum, cb * z[idx]),
-                        None => sum,
-                    };
+                    for (di, accd) in acc.iter().enumerate().take(ih) {
+                        let off = (i0 + di) * n + jv;
+                        let r = match epiv {
+                            Some((z, cav, cbv)) => {
+                                let zv = _mm512_loadu_pd(z.as_ptr().add(off));
+                                _mm512_fmadd_pd(cav, *accd, _mm512_mul_pd(cbv, zv))
+                            }
+                            None => *accd,
+                        };
+                        _mm512_storeu_pd(c.as_mut_ptr().add(off), r);
+                    }
+                    jv += 8;
                 }
+                for j in vcols..n {
+                    for di in 0..ih {
+                        let mut sum = 0.0f64;
+                        for p in 0..k {
+                            let av = a[(i0 + di) * k + p];
+                            if av != 0.0 { // lint: allow(float-exact-compare, reason="exact-zero coefficient skip is a bitwise no-op")
+                                sum = av.mul_add(b[p * n + j], sum);
+                            }
+                        }
+                        let idx = (i0 + di) * n + j;
+                        c[idx] = match epi {
+                            Some((z, ca, cb)) => ca.mul_add(sum, cb * z[idx]),
+                            None => sum,
+                        };
+                    }
+                }
+                i0 += T;
             }
-            i0 += T;
         }
     }
 
     /// `y = a·y + b·x` elementwise with FMA.
+    ///
+    /// # Safety
+    /// AVX-512F must be available at runtime and `x.len() >= y.len()`.
+    // lint: no_alloc
     #[target_feature(enable = "avx512f")]
     pub unsafe fn scale_add(y: &mut [f64], a: f64, x: &[f64], b: f64) {
         let len = y.len();
-        let av = _mm512_set1_pd(a);
-        let bv = _mm512_set1_pd(b);
-        let vlen = len / 8 * 8;
-        let mut i = 0;
-        while i < vlen {
-            let yv = _mm512_loadu_pd(y.as_ptr().add(i));
-            let xv = _mm512_loadu_pd(x.as_ptr().add(i));
-            let r = _mm512_fmadd_pd(av, yv, _mm512_mul_pd(bv, xv));
-            _mm512_storeu_pd(y.as_mut_ptr().add(i), r);
-            i += 8;
-        }
-        for j in vlen..len {
-            y[j] = a.mul_add(y[j], b * x[j]);
+        // SAFETY: vector loads/stores cover `i..i+8` with `i + 8 <= vlen <=
+        // len <= x.len()`; the tail uses safe indexing. ISA availability is
+        // the fn's documented safety contract.
+        unsafe {
+            let av = _mm512_set1_pd(a);
+            let bv = _mm512_set1_pd(b);
+            let vlen = len / 8 * 8;
+            let mut i = 0;
+            while i < vlen {
+                let yv = _mm512_loadu_pd(y.as_ptr().add(i));
+                let xv = _mm512_loadu_pd(x.as_ptr().add(i));
+                let r = _mm512_fmadd_pd(av, yv, _mm512_mul_pd(bv, xv));
+                _mm512_storeu_pd(y.as_mut_ptr().add(i), r);
+                i += 8;
+            }
+            for j in vlen..len {
+                y[j] = a.mul_add(y[j], b * x[j]);
+            }
         }
     }
 }
@@ -271,97 +317,129 @@ pub(crate) mod avx2 {
     use std::arch::x86_64::*;
 
     /// Fixed pairwise combine of the 4 lane partials.
+    ///
+    /// # Safety
+    /// AVX2 must be available; every caller is itself gated on
+    /// `#[target_feature(enable = "avx2,fma")]`.
     #[inline(always)]
     unsafe fn hsum(acc: __m256d) -> f64 {
         let mut l = [0.0f64; 4];
-        _mm256_storeu_pd(l.as_mut_ptr(), acc);
+        // SAFETY: `l` is a 32-byte local array and `storeu` is unaligned;
+        // AVX2 availability is this fn's documented contract.
+        unsafe { _mm256_storeu_pd(l.as_mut_ptr(), acc) };
         (l[0] + l[1]) + (l[2] + l[3])
     }
 
     /// Dot product as one 4-lane FMA chain plus ascending scalar remainder.
+    ///
+    /// # Safety
+    /// AVX2+FMA must be available at runtime (the dispatcher checks
+    /// `is_x86_feature_detected!`) and `b.len() >= a.len()`.
+    // lint: no_alloc
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
         let k = a.len();
-        let mut acc = _mm256_setzero_pd();
-        let chunks = k / 4;
-        for c in 0..chunks {
-            let av = _mm256_loadu_pd(a.as_ptr().add(c * 4));
-            let bv = _mm256_loadu_pd(b.as_ptr().add(c * 4));
-            acc = _mm256_fmadd_pd(av, bv, acc);
+        // SAFETY: each 4-lane load reads `a[c*4..c*4+4]` / `b[c*4..c*4+4]`
+        // with `c*4 + 4 <= k <= b.len()`, so all pointers stay in bounds;
+        // the ISA requirement is the fn's documented safety contract.
+        unsafe {
+            let mut acc = _mm256_setzero_pd();
+            let chunks = k / 4;
+            for c in 0..chunks {
+                let av = _mm256_loadu_pd(a.as_ptr().add(c * 4));
+                let bv = _mm256_loadu_pd(b.as_ptr().add(c * 4));
+                acc = _mm256_fmadd_pd(av, bv, acc);
+            }
+            let mut sum = hsum(acc);
+            for p in chunks * 4..k {
+                sum = a[p].mul_add(b[p], sum);
+            }
+            sum
         }
-        let mut sum = hsum(acc);
-        for p in chunks * 4..k {
-            sum = a[p].mul_add(b[p], sum);
-        }
-        sum
     }
 
     /// `C = A·Bᵀ`: 4x4 tiles of 4-lane chains, [`dot`]-identical per element.
+    ///
+    /// # Safety
+    /// AVX2+FMA must be available at runtime; `a` is `m×k`, `b` is `n×k`,
+    /// and `c` holds at least `m·n` elements (row-major).
+    // lint: no_alloc
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn matmul_abt(a: &[f64], b: &[f64], m: usize, n: usize, k: usize, c: &mut [f64]) {
         const T: usize = 4;
-        let chunks = k / 4;
-        let mut i0 = 0;
-        while i0 < m {
-            let ih = T.min(m - i0);
-            let mut j0 = 0;
-            while j0 < n {
-                let jh = T.min(n - j0);
-                if ih == T && jh == T {
-                    let ap = [
-                        a.as_ptr().add(i0 * k),
-                        a.as_ptr().add((i0 + 1) * k),
-                        a.as_ptr().add((i0 + 2) * k),
-                        a.as_ptr().add((i0 + 3) * k),
-                    ];
-                    let bp = [
-                        b.as_ptr().add(j0 * k),
-                        b.as_ptr().add((j0 + 1) * k),
-                        b.as_ptr().add((j0 + 2) * k),
-                        b.as_ptr().add((j0 + 3) * k),
-                    ];
-                    let mut acc = [[_mm256_setzero_pd(); T]; T];
-                    for ch in 0..chunks {
-                        let off = ch * 4;
-                        let bv = [
-                            _mm256_loadu_pd(bp[0].add(off)),
-                            _mm256_loadu_pd(bp[1].add(off)),
-                            _mm256_loadu_pd(bp[2].add(off)),
-                            _mm256_loadu_pd(bp[3].add(off)),
+        // SAFETY: the full-tile path only runs when 4 whole rows of `a` and
+        // `b` exist, so the row pointers and their `off + 4 <= k` loads stay
+        // inside the slices; edge tiles use safe indexing through [`dot`].
+        // The ISA requirement is the fn's documented safety contract.
+        unsafe {
+            let chunks = k / 4;
+            let mut i0 = 0;
+            while i0 < m {
+                let ih = T.min(m - i0);
+                let mut j0 = 0;
+                while j0 < n {
+                    let jh = T.min(n - j0);
+                    if ih == T && jh == T {
+                        let ap = [
+                            a.as_ptr().add(i0 * k),
+                            a.as_ptr().add((i0 + 1) * k),
+                            a.as_ptr().add((i0 + 2) * k),
+                            a.as_ptr().add((i0 + 3) * k),
                         ];
-                        for (di, &api) in ap.iter().enumerate() {
-                            let av = _mm256_loadu_pd(api.add(off));
-                            for (dj, &bvj) in bv.iter().enumerate() {
-                                acc[di][dj] = _mm256_fmadd_pd(av, bvj, acc[di][dj]);
+                        let bp = [
+                            b.as_ptr().add(j0 * k),
+                            b.as_ptr().add((j0 + 1) * k),
+                            b.as_ptr().add((j0 + 2) * k),
+                            b.as_ptr().add((j0 + 3) * k),
+                        ];
+                        let mut acc = [[_mm256_setzero_pd(); T]; T];
+                        for ch in 0..chunks {
+                            let off = ch * 4;
+                            let bv = [
+                                _mm256_loadu_pd(bp[0].add(off)),
+                                _mm256_loadu_pd(bp[1].add(off)),
+                                _mm256_loadu_pd(bp[2].add(off)),
+                                _mm256_loadu_pd(bp[3].add(off)),
+                            ];
+                            for (di, &api) in ap.iter().enumerate() {
+                                let av = _mm256_loadu_pd(api.add(off));
+                                for (dj, &bvj) in bv.iter().enumerate() {
+                                    acc[di][dj] = _mm256_fmadd_pd(av, bvj, acc[di][dj]);
+                                }
+                            }
+                        }
+                        for di in 0..T {
+                            for dj in 0..T {
+                                let mut sum = hsum(acc[di][dj]);
+                                for p in chunks * 4..k {
+                                    sum = (*ap[di].add(p)).mul_add(*bp[dj].add(p), sum);
+                                }
+                                c[(i0 + di) * n + j0 + dj] = sum;
+                            }
+                        }
+                    } else {
+                        for di in 0..ih {
+                            let ar = &a[(i0 + di) * k..(i0 + di + 1) * k];
+                            for dj in 0..jh {
+                                let br = &b[(j0 + dj) * k..(j0 + dj + 1) * k];
+                                c[(i0 + di) * n + j0 + dj] = dot(ar, br);
                             }
                         }
                     }
-                    for di in 0..T {
-                        for dj in 0..T {
-                            let mut sum = hsum(acc[di][dj]);
-                            for p in chunks * 4..k {
-                                sum = (*ap[di].add(p)).mul_add(*bp[dj].add(p), sum);
-                            }
-                            c[(i0 + di) * n + j0 + dj] = sum;
-                        }
-                    }
-                } else {
-                    for di in 0..ih {
-                        let ar = &a[(i0 + di) * k..(i0 + di + 1) * k];
-                        for dj in 0..jh {
-                            let br = &b[(j0 + dj) * k..(j0 + dj + 1) * k];
-                            c[(i0 + di) * n + j0 + dj] = dot(ar, br);
-                        }
-                    }
+                    j0 += T;
                 }
-                j0 += T;
+                i0 += T;
             }
-            i0 += T;
         }
     }
 
     /// `C = A·B` (axpy formulation), 4-lane panels; `epi` fuses the affine
     /// epilogue `C = ca·(A·B) + cb·z` exactly as the AVX-512 variant does.
+    ///
+    /// # Safety
+    /// AVX2+FMA must be available at runtime; `a` is `m×k`, `b` is `k×n`,
+    /// `c` (and `z` when `epi` is set) hold at least `m·n` elements.
+    // lint: no_alloc
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn matmul_slices(
         a: &[f64],
@@ -373,78 +451,92 @@ pub(crate) mod avx2 {
         epi: Option<(&[f64], f64, f64)>,
     ) {
         const T: usize = 4;
-        let vcols = n / 4 * 4;
-        let epiv = epi.map(|(z, ca, cb)| (z, _mm256_set1_pd(ca), _mm256_set1_pd(cb)));
-        let mut i0 = 0;
-        while i0 < m {
-            let ih = T.min(m - i0);
-            let mut jv = 0;
-            while jv < vcols {
-                let mut acc = [_mm256_setzero_pd(); T];
-                for p in 0..k {
-                    let mut any = false;
-                    for di in 0..ih {
-                        any |= a[(i0 + di) * k + p] != 0.0;
-                    }
-                    if !any {
-                        continue;
-                    }
-                    let bv = _mm256_loadu_pd(b.as_ptr().add(p * n + jv));
-                    for (di, accd) in acc.iter_mut().enumerate().take(ih) {
-                        let av = _mm256_set1_pd(a[(i0 + di) * k + p]);
-                        *accd = _mm256_fmadd_pd(av, bv, *accd);
-                    }
-                }
-                for (di, accd) in acc.iter().enumerate().take(ih) {
-                    let off = (i0 + di) * n + jv;
-                    let r = match epiv {
-                        Some((z, cav, cbv)) => {
-                            let zv = _mm256_loadu_pd(z.as_ptr().add(off));
-                            _mm256_fmadd_pd(cav, *accd, _mm256_mul_pd(cbv, zv))
-                        }
-                        None => *accd,
-                    };
-                    _mm256_storeu_pd(c.as_mut_ptr().add(off), r);
-                }
-                jv += 4;
-            }
-            for j in vcols..n {
-                for di in 0..ih {
-                    let mut sum = 0.0f64;
+        // SAFETY: panel loads/stores touch `jv..jv+4` with `jv + 4 <= vcols
+        // <= n`, inside rows `< m` of `b`/`c`/`z`; the scalar column tail
+        // uses safe indexing. ISA availability is the documented contract.
+        unsafe {
+            let vcols = n / 4 * 4;
+            let epiv = epi.map(|(z, ca, cb)| (z, _mm256_set1_pd(ca), _mm256_set1_pd(cb)));
+            let mut i0 = 0;
+            while i0 < m {
+                let ih = T.min(m - i0);
+                let mut jv = 0;
+                while jv < vcols {
+                    let mut acc = [_mm256_setzero_pd(); T];
                     for p in 0..k {
-                        let av = a[(i0 + di) * k + p];
-                        if av != 0.0 {
-                            sum = av.mul_add(b[p * n + j], sum);
+                        let mut any = false;
+                        for di in 0..ih {
+                            any |= a[(i0 + di) * k + p] != 0.0; // lint: allow(float-exact-compare, reason="exact-zero coefficient skip is a bitwise no-op")
+                        }
+                        if !any {
+                            continue;
+                        }
+                        let bv = _mm256_loadu_pd(b.as_ptr().add(p * n + jv));
+                        for (di, accd) in acc.iter_mut().enumerate().take(ih) {
+                            let av = _mm256_set1_pd(a[(i0 + di) * k + p]);
+                            *accd = _mm256_fmadd_pd(av, bv, *accd);
                         }
                     }
-                    let idx = (i0 + di) * n + j;
-                    c[idx] = match epi {
-                        Some((z, ca, cb)) => ca.mul_add(sum, cb * z[idx]),
-                        None => sum,
-                    };
+                    for (di, accd) in acc.iter().enumerate().take(ih) {
+                        let off = (i0 + di) * n + jv;
+                        let r = match epiv {
+                            Some((z, cav, cbv)) => {
+                                let zv = _mm256_loadu_pd(z.as_ptr().add(off));
+                                _mm256_fmadd_pd(cav, *accd, _mm256_mul_pd(cbv, zv))
+                            }
+                            None => *accd,
+                        };
+                        _mm256_storeu_pd(c.as_mut_ptr().add(off), r);
+                    }
+                    jv += 4;
                 }
+                for j in vcols..n {
+                    for di in 0..ih {
+                        let mut sum = 0.0f64;
+                        for p in 0..k {
+                            let av = a[(i0 + di) * k + p];
+                            if av != 0.0 { // lint: allow(float-exact-compare, reason="exact-zero coefficient skip is a bitwise no-op")
+                                sum = av.mul_add(b[p * n + j], sum);
+                            }
+                        }
+                        let idx = (i0 + di) * n + j;
+                        c[idx] = match epi {
+                            Some((z, ca, cb)) => ca.mul_add(sum, cb * z[idx]),
+                            None => sum,
+                        };
+                    }
+                }
+                i0 += T;
             }
-            i0 += T;
         }
     }
 
     /// `y = a·y + b·x` elementwise with FMA.
+    ///
+    /// # Safety
+    /// AVX2+FMA must be available at runtime and `x.len() >= y.len()`.
+    // lint: no_alloc
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn scale_add(y: &mut [f64], a: f64, x: &[f64], b: f64) {
         let len = y.len();
-        let av = _mm256_set1_pd(a);
-        let bv = _mm256_set1_pd(b);
-        let vlen = len / 4 * 4;
-        let mut i = 0;
-        while i < vlen {
-            let yv = _mm256_loadu_pd(y.as_ptr().add(i));
-            let xv = _mm256_loadu_pd(x.as_ptr().add(i));
-            let r = _mm256_fmadd_pd(av, yv, _mm256_mul_pd(bv, xv));
-            _mm256_storeu_pd(y.as_mut_ptr().add(i), r);
-            i += 4;
-        }
-        for j in vlen..len {
-            y[j] = a.mul_add(y[j], b * x[j]);
+        // SAFETY: vector loads/stores cover `i..i+4` with `i + 4 <= vlen <=
+        // len <= x.len()`; the tail uses safe indexing. ISA availability is
+        // the fn's documented safety contract.
+        unsafe {
+            let av = _mm256_set1_pd(a);
+            let bv = _mm256_set1_pd(b);
+            let vlen = len / 4 * 4;
+            let mut i = 0;
+            while i < vlen {
+                let yv = _mm256_loadu_pd(y.as_ptr().add(i));
+                let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+                let r = _mm256_fmadd_pd(av, yv, _mm256_mul_pd(bv, xv));
+                _mm256_storeu_pd(y.as_mut_ptr().add(i), r);
+                i += 4;
+            }
+            for j in vlen..len {
+                y[j] = a.mul_add(y[j], b * x[j]);
+            }
         }
     }
 }

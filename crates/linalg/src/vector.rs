@@ -56,9 +56,15 @@ pub fn scale_add(y: &mut [f64], a: f64, x: &[f64], b: f64) {
     assert_eq!(x.len(), y.len(), "scale_add: length mismatch");
     #[cfg(target_arch = "x86_64")]
     match crate::simd::level() {
-        // SAFETY: level() only reports instruction sets the CPU supports.
-        crate::simd::Level::Avx512 => return unsafe { crate::simd::avx512::scale_add(y, a, x, b) },
-        crate::simd::Level::Avx2 => return unsafe { crate::simd::avx2::scale_add(y, a, x, b) },
+        crate::simd::Level::Avx512 => {
+            // SAFETY: level() only reports instruction sets the CPU
+            // supports; the length assert above matches the kernel contract.
+            return unsafe { crate::simd::avx512::scale_add(y, a, x, b) };
+        }
+        crate::simd::Level::Avx2 => {
+            // SAFETY: as above for the AVX2+FMA tier.
+            return unsafe { crate::simd::avx2::scale_add(y, a, x, b) };
+        }
         crate::simd::Level::Scalar => {}
     }
     for (yi, xi) in y.iter_mut().zip(x) {

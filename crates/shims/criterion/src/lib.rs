@@ -100,6 +100,7 @@ impl Bencher {
             return 0.0;
         }
         let mut s = self.samples.clone();
+        // INVARIANT: samples are elapsed-time measurements, never NaN.
         s.sort_by(|a, b| a.partial_cmp(b).unwrap());
         s[s.len() / 2]
     }

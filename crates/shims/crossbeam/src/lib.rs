@@ -7,6 +7,8 @@
 //! `std::sync::mpsc` supports natively.
 
 #![warn(missing_docs)]
+// Every unsafe operation must sit in its own audited `unsafe { }` block.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 /// Multi-producer channels; mirrors `crossbeam::channel`.
 pub mod channel {

@@ -16,6 +16,8 @@
 //! (+ `.enumerate()`) `.for_each(...)` — exactly what the workspace uses.
 
 #![warn(missing_docs)]
+// Every unsafe operation must sit in its own audited `unsafe { }` block.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::num::NonZeroUsize;
 
@@ -70,6 +72,8 @@ where
             .map(|r| scope.spawn(move || r.map(f).collect::<Vec<T>>()))
             .collect();
         for h in handles {
+            // INVARIANT: propagating a worker panic matches rayon's
+            // behavior; join only errs when the closure itself panicked.
             parts.push(h.join().expect("rayon-shim worker panicked"));
         }
     });

@@ -26,6 +26,7 @@ use std::sync::Arc;
 /// Inverts boundary buoyancy to boundary streamfunction, writing into `psi`.
 ///
 /// `theta` and `psi` are two spectral `n*n` fields each.
+// lint: no_alloc
 pub fn invert(
     grid: &SpectralGrid,
     theta: &[Vec<Complex>; LEVELS],
@@ -35,7 +36,7 @@ pub fn invert(
     debug_assert!(theta[0].len() == m && psi[0].len() == m);
     for idx in 0..m {
         let fnk = grid.inv_nk[idx];
-        if fnk == 0.0 {
+        if fnk == 0.0 { // lint: allow(float-exact-compare, reason="inv_nk is constructed exactly 0.0 at K = 0")
             // K = 0: no flow from the mean mode.
             psi[0][idx] = Complex::ZERO;
             psi[1][idx] = Complex::ZERO;
@@ -84,6 +85,7 @@ impl TendencyScratch {
 /// nonlinear advection is evaluated pseudo-spectrally and dealiased with the
 /// grid's 2/3 mask; the background-shear and mean-gradient terms are linear
 /// and handled exactly in spectral space.
+// lint: no_alloc
 #[allow(clippy::too_many_arguments)]
 pub fn tendency(
     p: &SqgParams,
@@ -159,7 +161,7 @@ pub fn tendency(
         }
 
         // Ekman damping acts on the bottom boundary only.
-        if l == 0 && p.ekman != 0.0 {
+        if l == 0 && p.ekman != 0.0 { // lint: allow(float-exact-compare, reason="ekman = 0 is the exact feature-off sentinel")
             for idx in 0..m {
                 let k2 = grid.kmag[idx] * grid.kmag[idx];
                 tend[0][idx] += scratch.psi[0][idx] * (p.ekman * k2);
@@ -219,6 +221,7 @@ impl Stepper {
     }
 
     /// One RK4 step of length `params.dt` applied in place.
+    // lint: no_alloc
     pub fn step(&mut self, theta: &mut [Vec<Complex>; LEVELS]) {
         let _span = telemetry::span!("sqg.step");
         telemetry::counter_add("sqg.steps", 1);

@@ -35,6 +35,9 @@ pub struct SpectralGrid {
 
 impl SpectralGrid {
     /// Builds all tables from the model parameters.
+    ///
+    /// # Panics
+    /// Panics when `p` fails [`SqgParams::validate`].
     pub fn new(p: &SqgParams) -> Self {
         p.validate().expect("invalid SQG parameters");
         let n = p.n;

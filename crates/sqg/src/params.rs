@@ -109,7 +109,7 @@ impl SqgParams {
         if self.domain <= 0.0 || self.depth <= 0.0 {
             return Err("domain and depth must be positive".into());
         }
-        if self.coriolis == 0.0 {
+        if self.coriolis == 0.0 { // lint: allow(float-exact-compare, reason="validation rejects the exact degenerate value")
             return Err("coriolis parameter must be nonzero".into());
         }
         if self.nsq <= 0.0 {

@@ -16,6 +16,8 @@
 //! - [`OnlineMoments`] — mergeable Welford accumulators for long series.
 
 #![warn(missing_docs)]
+// Every unsafe operation must sit in its own audited `unsafe { }` block.
+#![deny(unsafe_op_in_unsafe_fn)]
 // Spectral binning indexes shells and wavevectors at matched positions.
 #![allow(clippy::needless_range_loop)]
 

@@ -47,7 +47,7 @@ pub fn pattern_correlation(a: &[f64], b: &[f64]) -> f64 {
         da2 += dx * dx;
         db2 += dy * dy;
     }
-    if da2 == 0.0 || db2 == 0.0 {
+    if da2 == 0.0 || db2 == 0.0 { // lint: allow(float-exact-compare, reason="exactly-zero variance is the degenerate-input sentinel")
         0.0
     } else {
         num / (da2.sqrt() * db2.sqrt())

@@ -66,7 +66,7 @@ pub fn fit_loglog_slope(shells: &[f64], k_min: usize, k_max: usize) -> Option<f6
         num += (x - mx) * (y - my);
         den += (x - mx) * (x - mx);
     }
-    if den == 0.0 {
+    if den == 0.0 { // lint: allow(float-exact-compare, reason="exactly-zero denominator is the degenerate-input sentinel")
         None
     } else {
         Some(num / den)

@@ -204,7 +204,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -236,7 +236,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -276,6 +276,7 @@ impl Parser<'_> {
                     // boundaries are valid).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| "invalid utf-8")?;
+                    // INVARIANT: peek() returned Some, so `rest` is non-empty.
                     let c = rest.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -300,6 +301,7 @@ impl Parser<'_> {
                 _ => break,
             }
         }
+        // INVARIANT: the scanned range is ASCII digits/sign/exponent bytes.
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         if is_float {
             text.parse::<f64>().map(Json::Num).map_err(|e| e.to_string())
@@ -309,7 +311,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -332,7 +334,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -343,7 +345,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let val = self.value()?;
             pairs.push((key, val));

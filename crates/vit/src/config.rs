@@ -41,6 +41,9 @@ impl Default for VitConfig {
 
 impl VitConfig {
     /// The three architectures of Table II.
+    ///
+    /// # Panics
+    /// Panics for input sizes other than the paper's 64/128/256.
     pub fn table2(input_size: usize) -> VitConfig {
         match input_size {
             64 => VitConfig { input_size: 64, depth: 12, embed_dim: 1024, ..Default::default() },

@@ -101,6 +101,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
+        // INVARIANT: the training loop always runs forward before backward.
         let x = self.cache_x.as_ref().expect("Linear::backward before forward");
         assert_eq!(grad.cols, self.out_dim);
         // dW = gradᵀ x ; db = column sums; dx = grad W.
@@ -176,7 +177,9 @@ impl Layer for LayerNorm {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
+        // INVARIANT: the training loop always runs forward before backward.
         let (xhat, _means, inv_stds) =
+            // INVARIANT: forward always runs before backward.
             self.cache.as_ref().expect("LayerNorm::backward before forward");
         let n = self.dim as f32;
         let mut dx = Tensor::zeros(grad.rows, grad.cols);
@@ -259,6 +262,7 @@ impl Layer for Gelu {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
+        // INVARIANT: the training loop always runs forward before backward.
         let x = self.cache_x.as_ref().expect("Gelu::backward before forward");
         let mut dx = grad.clone();
         for (d, xv) in dx.data.iter_mut().zip(&x.data) {
@@ -290,7 +294,7 @@ impl Dropout {
 
 impl Layer for Dropout {
     fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
-        if !ctx.train || self.p == 0.0 {
+        if !ctx.train || self.p == 0.0 { // lint: allow(float-exact-compare, reason="p = 0 is the exact feature-off sentinel")
             self.mask = None;
             return x.clone();
         }
@@ -344,7 +348,7 @@ impl DropPath {
 
 impl Layer for DropPath {
     fn forward(&mut self, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
-        if !ctx.train || self.p == 0.0 {
+        if !ctx.train || self.p == 0.0 { // lint: allow(float-exact-compare, reason="p = 0 is the exact feature-off sentinel")
             self.scales = None;
             return x.clone();
         }
@@ -491,6 +495,7 @@ impl Layer for MultiHeadAttention {
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let dconcat = self.proj.backward(grad);
+        // INVARIANT: the training loop always runs forward before backward.
         let cache = self.cache.as_ref().expect("attention backward before forward");
         let batch = cache.batch;
         let t = self.tokens;

@@ -25,6 +25,9 @@ pub struct SqgVit {
 
 impl SqgVit {
     /// Builds a model with Gaussian(0, 0.02) initialization from `seed`.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
     pub fn new(config: VitConfig, seed: u64) -> Self {
         config.validate().expect("invalid ViT configuration");
         let mut rng: StdRng = seeded(seed);
@@ -209,6 +212,7 @@ impl SqgVit {
     /// Convenience inference on one image.
     pub fn predict(&mut self, image: &[f32]) -> Vec<f32> {
         let mut rng = seeded(0);
+        // INVARIANT: forward returns one output per input image.
         self.forward(&[image.to_vec()], false, &mut rng).pop().unwrap()
     }
 

@@ -118,6 +118,7 @@ pub fn load_weights(model: &mut SqgVit, bytes: &Bytes) -> Result<(), LoadError> 
 
     let mut it = tensors.into_iter();
     model.visit_params(&mut |p| {
+        // INVARIANT: tensor count was checked against the model above.
         p.value = it.next().expect("validated above");
     });
     Ok(())

@@ -66,7 +66,7 @@ impl Tensor {
         let kernel = |i: usize, row_out: &mut [f32]| {
             let a_row = self.row(i);
             for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+                if a == 0.0 { // lint: allow(float-exact-compare, reason="exact-zero coefficient skip is a bitwise no-op")
                     continue;
                 }
                 let b_row = &other.data[p * n..(p + 1) * n];
@@ -121,7 +121,7 @@ impl Tensor {
             let a_row = self.row(p);
             let b_row = other.row(p);
             for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+                if a == 0.0 { // lint: allow(float-exact-compare, reason="exact-zero coefficient skip is a bitwise no-op")
                     continue;
                 }
                 let o_row = &mut out.data[i * n..(i + 1) * n];
