@@ -766,4 +766,62 @@ mod tests {
         .unwrap_err();
         assert_eq!(err, OsseError::Checkpoint(CheckpointError::BadHeader));
     }
+
+    #[test]
+    fn dropped_and_delayed_batches_run_forecast_only_cycles() {
+        let cfg = tiny_config(4);
+        let nr = nature_run(&cfg);
+        let dim = nr.truth[0].len();
+        let mut model = SqgForecast::perfect(cfg.params.clone());
+        let mut scheme = ensf_scheme(&cfg, dim);
+        let res = ResilienceConfig {
+            plan: FaultPlan {
+                obs_faults: vec![
+                    (0, super::super::fault::ObsFault::Drop),
+                    (1, super::super::fault::ObsFault::Delay { by: 1 }),
+                ],
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let run =
+            run_supervised("obs-late", &cfg, &res, &nr, &mut model, &mut scheme, None).unwrap();
+        // Both faulted cycles degrade to forecast-only; the delayed batch
+        // arrives stale one cycle later and is discarded, never assimilated.
+        assert_eq!(run.counters.degraded_cycles, 2);
+        assert_eq!(run.counters.stale_obs_discarded, 1);
+        assert!(run.cycles[0].events.iter().any(|e| e == "obs_dropped"));
+        assert!(run.cycles[1].events.iter().any(|e| e == "obs_delayed:1"));
+        assert!(run.cycles[2].events.iter().any(|e| e == "stale_obs_discarded"));
+        // The clean trailing cycles still assimilate.
+        assert!(run.cycles[3].events.is_empty());
+        assert!(run.series.rmse.iter().all(|r| r.is_finite()));
+    }
+
+    #[test]
+    fn thinned_batch_still_assimilates_the_surviving_network() {
+        let cfg = tiny_config(3);
+        let nr = nature_run(&cfg);
+        let dim = nr.truth[0].len();
+        let mut model = SqgForecast::perfect(cfg.params.clone());
+        let mut scheme = ensf_scheme(&cfg, dim);
+        let res = ResilienceConfig {
+            plan: FaultPlan {
+                obs_faults: vec![(1, super::super::fault::ObsFault::Thin { stride: 4 })],
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let run =
+            run_supervised("obs-thin", &cfg, &res, &nr, &mut model, &mut scheme, None).unwrap();
+        // A thinned batch is degraded data, not a degraded cycle: the
+        // analysis still runs on the surviving network.
+        assert_eq!(run.counters.degraded_cycles, 0);
+        assert!(run.cycles[1].events.iter().any(|e| e == "obs_thinned:4"));
+        assert_eq!(run.series.rmse.len(), 3);
+        assert!(run.series.rmse.iter().all(|r| r.is_finite()));
+        // The run completes (possibly with a guardrail fired on the
+        // information-starved cycle) rather than erroring out.
+        assert!(!run.interrupted);
+    }
 }

@@ -1,0 +1,178 @@
+//! Fixed-tile partition of the state dimension across ranks.
+//!
+//! The determinism contract of the sharded analysis rests on one idea: the
+//! unit of decomposition is a **tile** of fixed width, not "whatever block
+//! a rank happens to own". The state dimension is cut into `⌈d / tile⌉`
+//! tiles once, independently of the rank count; a rank owns a contiguous
+//! run of tiles. Every floating-point reduction over the state dimension is
+//! evaluated as (a) an intra-tile reduction — computed by exactly one rank,
+//! with arithmetic that depends only on the tile — followed by (b) a fold
+//! over per-tile partials in ascending tile order, replicated identically
+//! on every rank. Neither part depends on *which* rank owned a tile, so
+//! results are bitwise identical for any rank count (changing the tile
+//! width, by contrast, reassociates the arithmetic and legitimately
+//! changes low-order bits).
+
+/// Contiguous-tile decomposition of a `dim`-dimensional state over ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    dim: usize,
+    tile: usize,
+    n_tiles: usize,
+    /// Tile range `[t0, t1)` owned by each rank, contiguous and ascending.
+    tile_ranges: Vec<(usize, usize)>,
+}
+
+impl ShardPlan {
+    /// Cuts `dim` state components into tiles of width `tile` and assigns
+    /// contiguous tile runs to `ranks` ranks (earlier ranks get the extra
+    /// tile when the count does not divide evenly). Ranks beyond the tile
+    /// count own an empty range.
+    ///
+    /// # Panics
+    /// Panics when `dim`, `tile` or `ranks` is zero.
+    pub fn new(dim: usize, tile: usize, ranks: usize) -> Self {
+        assert!(dim > 0, "state dimension must be positive");
+        assert!(tile > 0, "tile width must be positive");
+        assert!(ranks > 0, "need at least one rank");
+        let n_tiles = dim.div_ceil(tile);
+        let base = n_tiles / ranks;
+        let extra = n_tiles % ranks;
+        let mut tile_ranges = Vec::with_capacity(ranks);
+        let mut t0 = 0;
+        for r in 0..ranks {
+            let count = base + usize::from(r < extra);
+            tile_ranges.push((t0, t0 + count));
+            t0 += count;
+        }
+        ShardPlan { dim, tile, n_tiles, tile_ranges }
+    }
+
+    /// State dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Tile width (the last tile may be narrower).
+    pub fn tile(&self) -> usize {
+        self.tile
+    }
+
+    /// Number of tiles `⌈d / tile⌉`.
+    pub fn n_tiles(&self) -> usize {
+        self.n_tiles
+    }
+
+    /// Number of ranks in the plan.
+    pub fn ranks(&self) -> usize {
+        self.tile_ranges.len()
+    }
+
+    /// Element range `[lo, hi)` of tile `t`.
+    ///
+    /// # Panics
+    /// Panics when `t` is out of range.
+    pub fn tile_bounds(&self, t: usize) -> (usize, usize) {
+        assert!(t < self.n_tiles, "tile {t} out of range");
+        (t * self.tile, self.dim.min((t + 1) * self.tile))
+    }
+
+    /// Tile range `[t0, t1)` owned by rank `r` (empty when `t0 == t1`).
+    ///
+    /// # Panics
+    /// Panics when `r` is out of range.
+    pub fn rank_tiles(&self, r: usize) -> (usize, usize) {
+        self.tile_ranges[r]
+    }
+
+    /// Element range `[lo, hi)` owned by rank `r`.
+    ///
+    /// # Panics
+    /// Panics when `r` is out of range.
+    pub fn rank_range(&self, r: usize) -> (usize, usize) {
+        let (t0, t1) = self.tile_ranges[r];
+        if t0 == t1 {
+            let lo = self.dim.min(t0 * self.tile);
+            return (lo, lo);
+        }
+        (self.tile_bounds(t0).0, self.tile_bounds(t1 - 1).1)
+    }
+
+    /// Number of state elements owned by rank `r`.
+    ///
+    /// # Panics
+    /// Panics when `r` is out of range.
+    pub fn rank_len(&self, r: usize) -> usize {
+        let (lo, hi) = self.rank_range(r);
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_cover_dim_exactly_once() {
+        for (dim, tile, ranks) in [(512, 64, 4), (513, 64, 8), (100, 7, 3), (8, 64, 4)] {
+            let plan = ShardPlan::new(dim, tile, ranks);
+            // Tile bounds tile the dimension.
+            let mut next = 0;
+            for t in 0..plan.n_tiles() {
+                let (lo, hi) = plan.tile_bounds(t);
+                assert_eq!(lo, next);
+                assert!(hi > lo && hi <= dim);
+                next = hi;
+            }
+            assert_eq!(next, dim);
+            // Rank ranges are contiguous, ascending and cover the dimension.
+            let mut elem = 0;
+            for r in 0..ranks {
+                let (lo, hi) = plan.rank_range(r);
+                assert_eq!(lo, elem, "rank {r} range not contiguous");
+                elem = hi;
+            }
+            assert_eq!(elem, dim);
+        }
+    }
+
+    #[test]
+    fn tile_layout_is_independent_of_rank_count() {
+        // The partition into tiles (and hence every intra-tile reduction)
+        // must not change with the rank count — only the ownership does.
+        let reference = ShardPlan::new(8192, 64, 1);
+        for ranks in [2, 3, 4, 8, 16, 200] {
+            let plan = ShardPlan::new(8192, 64, ranks);
+            assert_eq!(plan.n_tiles(), reference.n_tiles());
+            for t in 0..plan.n_tiles() {
+                assert_eq!(plan.tile_bounds(t), reference.tile_bounds(t));
+            }
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_tiles_leaves_trailing_ranks_empty() {
+        let plan = ShardPlan::new(100, 64, 4); // 2 tiles, 4 ranks
+        assert_eq!(plan.n_tiles(), 2);
+        assert_eq!(plan.rank_len(0), 64);
+        assert_eq!(plan.rank_len(1), 36);
+        assert_eq!(plan.rank_len(2), 0);
+        assert_eq!(plan.rank_len(3), 0);
+        // Empty ranges still sit at valid offsets.
+        assert_eq!(plan.rank_range(2), (100, 100));
+    }
+
+    #[test]
+    fn extra_tiles_go_to_leading_ranks() {
+        let plan = ShardPlan::new(7 * 64, 64, 3); // 7 tiles over 3 ranks
+        assert_eq!(plan.rank_tiles(0), (0, 3));
+        assert_eq!(plan.rank_tiles(1), (3, 5));
+        assert_eq!(plan.rank_tiles(2), (5, 7));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_rejected() {
+        let _ = ShardPlan::new(64, 64, 0);
+    }
+}

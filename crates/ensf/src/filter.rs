@@ -238,7 +238,9 @@ impl Ensf {
 
 /// Relaxes the per-variable analysis spread toward the forecast spread:
 /// anomalies are rescaled so `σ_new = (1 − r) σ_a + r σ_f`. Shared with
-/// [`crate::parallel::analyze_partitioned`].
+/// [`crate::parallel::analyze_partitioned`] and the distributed runtime's
+/// state-sharded analysis (the statistics are per-variable, so applying it
+/// to a contiguous state block equals applying it to the full state).
 ///
 /// When a variable's analysis spread has (numerically) collapsed — tight
 /// observations can pull every member onto the observation to the last bit,
@@ -248,7 +250,7 @@ impl Ensf {
 /// anomalies scaled by `r`, which realizes the intended `σ_new ≈ r σ_f`
 /// deterministically and independently of which score kernel produced the
 /// (bit-level) collapse pattern.
-pub(crate) fn relax_spread(analysis: &mut Ensemble, forecast: &Ensemble, r: f64) {
+pub fn relax_spread(analysis: &mut Ensemble, forecast: &Ensemble, r: f64) {
     /// `σ_a` below this fraction of `σ_f` is treated as fully collapsed.
     const DEGENERATE: f64 = 1e-8;
     let dim = analysis.dim();

@@ -48,7 +48,7 @@ mod score;
 mod sde;
 
 pub use batch::{reverse_sde_assimilate_batched, BatchScratch, BatchedScore};
-pub use filter::{Ensf, EnsfConfig, ScoreKernel};
+pub use filter::{relax_spread, Ensf, EnsfConfig, ScoreKernel};
 pub use obs::{ArctanObs, CubicObs, IdentityObs, ObservationOperator, StridedObs};
 pub use schedule::{Damping, DiffusionSchedule};
 pub use score::ScoreEstimator;

@@ -444,4 +444,52 @@ mod tests {
         loose.add_likelihood_score(&[0.0], &[1.0], 1.0, &mut sl);
         assert!(st[0] > sl[0]);
     }
+
+    #[test]
+    #[should_panic(expected = "observation error must be positive")]
+    fn identity_zero_sigma_rejected() {
+        // A zero-variance observation makes the likelihood score singular;
+        // the constructor is the only guard.
+        let _ = IdentityObs::new(4, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn strided_zero_sigma_rejected() {
+        let _ = StridedObs::new(4, 2, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arctan_zero_sigma_rejected() {
+        let _ = ArctanObs::new(4, 0.0);
+    }
+
+    #[test]
+    fn strided_obs_with_stride_one_is_the_identity_network() {
+        let dense = StridedObs::new(5, 1, 0.7);
+        let ident = IdentityObs::new(5, 0.7);
+        assert_eq!(dense.obs_dim(), 5);
+        let x = [1.0, -2.0, 3.0, -4.0, 5.0];
+        let y = [0.5; 5];
+        let (mut a, mut b) = (vec![0.0; 5], vec![0.0; 5]);
+        dense.add_likelihood_score(&x, &y, 2.0, &mut a);
+        ident.add_likelihood_score(&x, &y, 2.0, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn strided_obs_wider_than_state_keeps_one_component() {
+        // stride > dim: only component 0 is observed; the score leaves
+        // every other component untouched.
+        let op = StridedObs::new(4, 10, 1.0);
+        assert_eq!(op.obs_dim(), 1);
+        let mut out = vec![0.0; 1];
+        op.apply(&[9.0, 8.0, 7.0, 6.0], &mut out);
+        assert_eq!(out, vec![9.0]);
+        let mut s = vec![0.0; 4];
+        op.add_likelihood_score(&[9.0, 8.0, 7.0, 6.0], &[0.0], 1.0, &mut s);
+        assert!(s[0] != 0.0); // lint: allow(float-exact-compare, reason="score of the observed component is an exact nonzero product")
+        assert_eq!(&s[1..], &[0.0, 0.0, 0.0]);
+    }
 }

@@ -220,4 +220,33 @@ mod tests {
     fn invalid_eps_rejected() {
         let _ = DiffusionSchedule::new(0.7);
     }
+
+    #[test]
+    fn linear_damping_is_exactly_t_minus_t_inside_the_clamp() {
+        // The paper's h(t) = T − t with T = 1: on the clamped interval the
+        // implementation must be the literal subtraction, to the bit.
+        let s = DiffusionSchedule::new(1e-3);
+        for i in 1..1000 {
+            let t = i as f64 / 1000.0;
+            if t < s.eps || t > 1.0 - s.eps {
+                continue;
+            }
+            assert_eq!(s.damping(t).to_bits(), (1.0 - t).to_bits(), "h({t}) != 1 - {t}");
+        }
+    }
+
+    #[test]
+    fn damping_endpoints_saturate_at_the_clamp() {
+        // Out-of-range pseudo-times clamp to [eps, 1 − eps] before h is
+        // evaluated: h never exceeds h(eps) and never undershoots h(1 − eps).
+        let s = DiffusionSchedule::new(1e-3);
+        let at_lo = (1.0 - s.eps).to_bits();
+        let at_hi = (1.0 - (1.0 - s.eps)).to_bits();
+        for t in [-5.0, -1e-9, 0.0, 1e-4] {
+            assert_eq!(s.damping(t).to_bits(), at_lo, "h({t}) should clamp to h(eps)");
+        }
+        for t in [1.0 - 1e-4, 1.0, 1.0 + 1e-9, 42.0] {
+            assert_eq!(s.damping(t).to_bits(), at_hi, "h({t}) should clamp to h(1 - eps)");
+        }
+    }
 }

@@ -514,4 +514,74 @@ mod tests {
         let mut z = vec![0.0];
         reverse_sde_euler(&mut z, &sch, 0, |_, _, out| out.fill(0.0), &mut rng);
     }
+
+    #[test]
+    fn single_step_grids_span_the_whole_interval() {
+        // n_steps = 1 is the degenerate discretization: both grids must
+        // still produce exactly [1 − eps, 0] (the LogSpaced upper half is
+        // empty, n_hi = 0, and the lower half has too few points to refine).
+        let sch = DiffusionSchedule::default();
+        for grid in [TimeGrid::LogSpaced, TimeGrid::Uniform] {
+            let pts = grid.points(&sch, 1);
+            assert_eq!(pts.len(), 2, "{grid:?}");
+            assert_eq!(pts[0].to_bits(), (1.0 - sch.eps).to_bits(), "{grid:?} start");
+            assert_eq!(pts[1].to_bits(), 0.0f64.to_bits(), "{grid:?} end");
+        }
+    }
+
+    #[test]
+    fn single_step_assimilation_is_noise_free_and_finite() {
+        // With one Euler step the only step is the final one, where the
+        // Brownian increment is omitted — so the result cannot depend on
+        // the RNG at all, for any of the integration entry points.
+        let sch = DiffusionSchedule::default();
+        let obs = crate::obs::IdentityObs::new(3, 0.5);
+        let y = vec![1.0, -2.0, 0.5];
+        let run = |seed: u64| {
+            let mut rng = seeded(seed);
+            let mut z = vec![0.3, -0.7, 1.9];
+            reverse_sde_assimilate(
+                &mut z,
+                &sch,
+                1,
+                TimeGrid::LogSpaced,
+                |_, _, out| out.fill(0.0),
+                &obs,
+                &y,
+                &mut rng,
+            );
+            z
+        };
+        let a = run(1);
+        let b = run(999);
+        assert!(a.iter().all(|v| v.is_finite()));
+        assert_eq!(a, b, "single-step result leaked RNG state");
+    }
+
+    #[test]
+    fn single_step_survives_near_zero_variance_observations() {
+        // sigma → 0 sends the likelihood relaxation rate c = γ J²/σ² to
+        // ~1e24; the exponential integrator's (1 − e^{−c})/c factor must
+        // tame it into a bounded pull toward y instead of a 1e24-sized
+        // explicit Euler overshoot.
+        let sch = DiffusionSchedule::default();
+        let obs = crate::obs::IdentityObs::new(2, 1e-12);
+        let y = vec![2.0, -1.0];
+        let mut rng = seeded(3);
+        let mut z = vec![-10.0, 10.0];
+        reverse_sde_assimilate(
+            &mut z,
+            &sch,
+            1,
+            TimeGrid::LogSpaced,
+            |_, _, out| out.fill(0.0),
+            &obs,
+            &y,
+            &mut rng,
+        );
+        for (zi, yi) in z.iter().zip(&y) {
+            assert!(zi.is_finite(), "blow-up at sigma = 1e-12");
+            assert!((zi - yi).abs() < 12.0, "overshot past the observation: {zi} vs {yi}");
+        }
+    }
 }

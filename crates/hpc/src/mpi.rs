@@ -3,8 +3,9 @@
 //! Real concurrent "ranks" (one OS thread each) exchanging typed messages
 //! over crossbeam channels, with the point-to-point and collective
 //! operations the EnSF decomposition needs: `send`/`recv` (tagged, with
-//! out-of-order buffering), `barrier`, `allreduce_sum`, `gather` and
-//! `broadcast`. This gives the repository a faithful stand-in for the MPI
+//! out-of-order buffering), `barrier`, `allreduce_sum`, `gather`,
+//! `broadcast`, `scatter` and `allgather`/`allgather_concat`. This gives
+//! the repository a faithful stand-in for the MPI
 //! parallelization of §III-A3 that runs — and is tested — on one machine.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -140,6 +141,74 @@ impl Comm {
         } else {
             *data = self.recv(0, TAG);
         }
+    }
+
+    /// Scatters rank 0's per-rank `parts` (indexed by rank) to every rank;
+    /// each rank returns its own part. Non-root ranks pass `None`.
+    ///
+    /// # Panics
+    /// Panics if rank 0 passes `None` or a parts list whose length differs
+    /// from the world size (matching MPI's erroneous-argument abort).
+    pub fn scatter(&self, parts: Option<&[Vec<f64>]>) -> Vec<f64> {
+        const TAG: u64 = u64::MAX - 5;
+        if self.rank == 0 {
+            let parts = parts.expect("scatter root needs the parts list");
+            assert_eq!(parts.len(), self.size, "scatter needs one part per rank");
+            for (dst, part) in parts.iter().enumerate().skip(1) {
+                self.send(dst, TAG, part);
+            }
+            parts[0].clone()
+        } else {
+            self.recv(0, TAG)
+        }
+    }
+
+    /// Gathers every rank's `data` to all ranks: returns the per-rank parts
+    /// in rank order on every rank (gather-to-root + broadcast). Parts may
+    /// have different lengths.
+    pub fn allgather(&self, data: &[f64]) -> Vec<Vec<f64>> {
+        if self.size == 1 {
+            return vec![data.to_vec()];
+        }
+        let gathered = self.gather(data);
+        // Frame as [len_0, …, len_{size-1}, part_0 …, part_{size-1} …] so a
+        // single broadcast carries both the lengths and the payload.
+        let mut frame = if self.rank == 0 {
+            // INVARIANT: gather returns Some on rank 0.
+            let parts = gathered.expect("gather returns parts on root");
+            let mut frame: Vec<f64> = parts.iter().map(|p| p.len() as f64).collect();
+            for p in &parts {
+                frame.extend_from_slice(p);
+            }
+            frame
+        } else {
+            Vec::new()
+        };
+        self.broadcast(&mut frame);
+        let lens: Vec<usize> = frame[..self.size].iter().map(|&l| l as usize).collect();
+        let mut out = Vec::with_capacity(self.size);
+        let mut offset = self.size;
+        for len in lens {
+            out.push(frame[offset..offset + len].to_vec());
+            offset += len;
+        }
+        out
+    }
+
+    /// [`Comm::allgather`] flattened: every rank receives the concatenation
+    /// of all ranks' contributions in rank order. This is the reassembly
+    /// primitive for contiguous state-block decompositions: with rank `r`
+    /// owning block `r` of a partitioned vector, the result is the full
+    /// vector, identically on every rank.
+    pub fn allgather_concat(&self, data: &[f64]) -> Vec<f64> {
+        if self.size == 1 {
+            return data.to_vec();
+        }
+        let mut out = Vec::new();
+        for part in self.allgather(data) {
+            out.extend_from_slice(&part);
+        }
+        out
     }
 }
 
@@ -298,6 +367,48 @@ mod tests {
             }
         });
         assert_eq!(out[1], vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn scatter_distributes_root_parts() {
+        let out = run_world(4, |c| {
+            let parts: Option<Vec<Vec<f64>>> = (c.rank() == 0)
+                .then(|| (0..4).map(|r| vec![r as f64; r + 1]).collect());
+            c.scatter(parts.as_deref())
+        });
+        for (r, part) in out.iter().enumerate() {
+            assert_eq!(part, &vec![r as f64; r + 1]);
+        }
+    }
+
+    #[test]
+    fn scatter_single_rank_is_identity() {
+        let out = run_world(1, |c| c.scatter(Some(&[vec![5.0, 6.0]])));
+        assert_eq!(out[0], vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn allgather_collects_everywhere_in_rank_order() {
+        let out = run_world(3, |c| c.allgather(&vec![c.rank() as f64; c.rank() + 1]));
+        for parts in &out {
+            assert_eq!(parts.len(), 3);
+            for (r, p) in parts.iter().enumerate() {
+                assert_eq!(p, &vec![r as f64; r + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_concat_reassembles_blocks() {
+        // Rank r owns the contiguous block [2r, 2r+1] of an 8-vector.
+        let out = run_world(4, |c| {
+            let lo = 2 * c.rank();
+            c.allgather_concat(&[lo as f64, (lo + 1) as f64])
+        });
+        let want: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        for full in &out {
+            assert_eq!(full, &want);
+        }
     }
 
     #[test]

@@ -2,9 +2,19 @@
 
 use hpc::mpi::run_world;
 use hpc::{
-    bus_bandwidth, collective_time, simulate_step, Collective, Strategy, Topology, TrainJob,
+    bus_bandwidth, collective_time, collective_with_retry, simulate_step, Collective,
+    CollectiveError, RankFault, RetryPolicy, Strategy, Topology, TrainJob,
 };
 use proptest::prelude::*;
+
+/// Seeded per-rank payload: deterministic, distinct across `(rank, i)`.
+fn payload(seed: u64, rank: usize, i: usize) -> f64 {
+    let x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((rank * 8191 + i) as u64)
+        .wrapping_mul(0xD129_0B26_88CC_FC91);
+    (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+}
 
 const MB: u64 = 1024 * 1024;
 
@@ -176,5 +186,144 @@ proptest! {
         prop_assert_eq!(results[0], total);
         let sent_total: usize = results[1..].iter().sum();
         prop_assert_eq!(sent_total, total);
+    }
+
+    /// Allreduce equals the *bitwise* serial fold in ascending rank order
+    /// for every world size 1..=8 — the property the distributed filter's
+    /// determinism contract leans on (the root accumulates rank 0, 1, 2, …
+    /// regardless of which thread's contribution arrives first).
+    #[test]
+    fn mpi_allreduce_is_bitwise_serial_fold(
+        size in 1usize..=8,
+        len in 1usize..24,
+        seed in 0u64..u64::MAX,
+    ) {
+        let results = run_world(size, |comm| {
+            let mut buf: Vec<f64> =
+                (0..len).map(|i| payload(seed, comm.rank(), i)).collect();
+            comm.allreduce_sum(&mut buf);
+            buf
+        });
+        // Serial fold, strictly ascending rank order.
+        let expected: Vec<f64> = (0..len)
+            .map(|i| {
+                let mut acc = payload(seed, 0, i);
+                for r in 1..size {
+                    acc += payload(seed, r, i);
+                }
+                acc
+            })
+            .collect();
+        let want: Vec<u64> = expected.iter().map(|v| v.to_bits()).collect();
+        for (r, got) in results.iter().enumerate() {
+            let bits: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&bits, &want, "rank {} disagrees with the serial fold", r);
+        }
+    }
+
+    /// The data-movement collectives (broadcast, scatter, gather, allgather
+    /// and its concatenating variant) move every payload exactly — right
+    /// block to the right rank, rank order preserved — for world sizes
+    /// 1..=8 and ragged per-rank lengths.
+    #[test]
+    fn mpi_data_movement_collectives_are_exact(
+        size in 1usize..=8,
+        base_len in 1usize..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        // Ragged parts: rank r owns base_len + (r % 3) elements.
+        let part = |r: usize| -> Vec<f64> {
+            (0..base_len + r % 3).map(|i| payload(seed, r, i)).collect()
+        };
+        let parts: Vec<Vec<f64>> = (0..size).map(part).collect();
+        let concat: Vec<f64> = parts.concat();
+        let results = run_world(size, |comm| {
+            let r = comm.rank();
+            // Scatter: rank 0 distributes, each rank gets exactly its part.
+            let scattered =
+                comm.scatter(if r == 0 { Some(&parts) } else { None });
+            assert_eq!(scattered, parts[r], "scatter gave rank {r} the wrong block");
+            // Gather: root reassembles the parts in rank order.
+            if let Some(gathered) = comm.gather(&scattered) {
+                assert_eq!(gathered, parts, "gather shuffled the parts");
+            }
+            // Broadcast: everyone ends with rank 0's payload.
+            let mut b = if r == 0 { parts[0].clone() } else { Vec::new() };
+            comm.broadcast(&mut b);
+            assert_eq!(b, parts[0], "broadcast corrupted rank 0's payload");
+            // Allgather (+ concat): replicated, rank-ordered, ragged-safe.
+            let all = comm.allgather(&scattered);
+            assert_eq!(all, parts, "allgather lost rank order");
+            comm.allgather_concat(&scattered)
+        });
+        for (r, got) in results.iter().enumerate() {
+            prop_assert_eq!(got, &concat, "allgather_concat wrong on rank {}", r);
+        }
+    }
+
+    /// The fault-tolerant retry model is a pure function of its inputs with
+    /// exact ULFM-shrink semantics: permanent faults are excluded up front,
+    /// the worst surviving transient fault fixes the attempt count, and the
+    /// budget bounds everything. Evaluating it twice (as every simulated
+    /// rank does) must give identical results — that purity is what lets
+    /// `crates/dist` fail consistently on all ranks with no agreement
+    /// protocol.
+    #[test]
+    fn retry_model_is_pure_with_exact_shrink_semantics(
+        gcds in 1usize..=8,
+        fault_ranks_raw in prop::collection::vec(0usize..8, 0..4),
+        failures in 0u32..6,
+        permanent_mask in 0u8..16,
+        max_retries in 0u32..5,
+    ) {
+        // One fault script entry per distinct rank (a duplicated permanent
+        // rank would double-count in the shrink bookkeeping).
+        let mut fault_ranks = fault_ranks_raw;
+        fault_ranks.sort_unstable();
+        fault_ranks.dedup();
+        let faults: Vec<RankFault> = fault_ranks
+            .iter()
+            .enumerate()
+            .map(|(i, &rank)| RankFault {
+                rank,
+                failures,
+                permanent: permanent_mask & (1 << i) != 0,
+            })
+            .collect();
+        let policy = RetryPolicy { max_retries, ..Default::default() };
+        let topo = Topology::frontier(gcds);
+        let run = || collective_with_retry(
+            &topo, Collective::AllReduce, gcds, MB, &faults, &policy,
+        );
+        let first = run();
+        prop_assert_eq!(&first, &run(), "retry model is not deterministic");
+
+        let expected_excluded: Vec<usize> = faults
+            .iter()
+            .filter(|f| f.permanent && f.rank < gcds)
+            .map(|f| f.rank)
+            .collect();
+        let transient = faults
+            .iter()
+            .filter(|f| !f.permanent && f.rank < gcds && !expected_excluded.contains(&f.rank))
+            .map(|f| f.failures)
+            .max()
+            .unwrap_or(0);
+        match first {
+            Ok(r) => {
+                prop_assert_eq!(r.excluded, expected_excluded.clone());
+                prop_assert_eq!(r.participants, gcds - expected_excluded.len());
+                prop_assert_eq!(r.attempts, transient + 1);
+                prop_assert!(r.attempts <= 1 + max_retries);
+                prop_assert!(r.time > 0.0 && r.time.is_finite());
+            }
+            Err(CollectiveError::NoSurvivors) => {
+                prop_assert_eq!(expected_excluded.len(), gcds, "shrink had survivors");
+            }
+            Err(CollectiveError::Exhausted { attempts }) => {
+                prop_assert_eq!(attempts, 1 + max_retries);
+                prop_assert!(transient >= attempts, "budget sufficed but model gave up");
+            }
+        }
     }
 }

@@ -16,6 +16,7 @@
 //! | [`letkf`] | the LETKF baseline |
 //! | [`vit`] | the ViT surrogate with manual backprop |
 //! | [`da_core`] | the DA workflow, OSSE harness and experiments |
+//! | [`dist`] | the rank-parallel sharded DA cycling runtime |
 //! | [`hpc`] | the Frontier performance simulator + simulated MPI |
 //! | [`fft`], [`linalg`], [`stats`] | numerical substrates |
 //!
@@ -33,6 +34,7 @@
 //! ```
 
 pub use da_core;
+pub use dist;
 pub use ensf;
 pub use fft;
 pub use hpc;

@@ -1,0 +1,142 @@
+//! Cross-rank determinism harness for the distributed cycling runtime —
+//! the central test deliverable of the sharded-DA work.
+//!
+//! The contract (see `crates/dist`): a full OSSE experiment — forecast,
+//! observe, sharded EnSF analysis, repeat — is **bitwise identical for any
+//! simulated rank count**. This file proves it at 1/2/4/8 ranks over a
+//! 10-cycle experiment, under both score kernels, and under each
+//! `LINALG_SIMD` cap.
+//!
+//! The SIMD cap needs special handling: `linalg::simd::level()` latches the
+//! detected level in a process-wide `OnceLock` on first use, so a test
+//! cannot flip the cap in-process. The `simd_cap_*` tests therefore
+//! re-execute this very test binary as a subprocess per (cap, rank count)
+//! with `LINALG_SIMD` set in its environment, and compare the trajectory
+//! fingerprints the children print. Different caps legitimately produce
+//! different bits (SIMD width reassociates reductions); the invariant is
+//! that *within* one cap the rank count never changes them.
+
+use sqg_da::dist::{run_osse, DistCycleConfig, DistRunResult};
+use sqg_da::ensf::{EnsfConfig, ScoreKernel};
+use sqg_da::sqg::SqgParams;
+use sqg_da::da_core::osse::OsseConfig;
+
+/// Reduced-grid 10-cycle experiment: `d = 512` (8 tiles of 64), 8 members.
+fn determinism_config(kernel: ScoreKernel) -> DistCycleConfig {
+    DistCycleConfig {
+        osse: OsseConfig {
+            params: SqgParams { n: 16, ..Default::default() },
+            cycles: 10,
+            obs_sigma: 0.005,
+            ens_size: 8,
+            ic_sigma: 0.01,
+            spinup_steps: 40,
+            seed: 3,
+            ..Default::default()
+        },
+        ensf: EnsfConfig { n_steps: 10, seed: 5, kernel, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// FNV-1a over the bit patterns of the full analysis trajectory (per-cycle
+/// means plus the final ensemble) — any single-bit divergence flips it.
+fn fingerprint(result: &DistRunResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: f64| {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for mean in &result.cycle_means {
+        mean.iter().copied().for_each(&mut eat);
+    }
+    result.ensemble.as_slice().iter().copied().for_each(&mut eat);
+    h
+}
+
+fn assert_rank_invariant(kernel: ScoreKernel) {
+    let config = determinism_config(kernel);
+    let one = run_osse(&config, 1).unwrap();
+    assert_eq!(one.cycle_means.len(), 10);
+    for ranks in [2usize, 4, 8] {
+        let many = run_osse(&config, ranks).unwrap();
+        for (cycle, (a, b)) in one.cycle_means.iter().zip(&many.cycle_means).enumerate() {
+            let bits_a: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                bits_a, bits_b,
+                "{kernel:?}: cycle {cycle} mean diverged at {ranks} ranks"
+            );
+        }
+        let bits_one: Vec<u64> = one.ensemble.as_slice().iter().map(|v| v.to_bits()).collect();
+        let bits_many: Vec<u64> = many.ensemble.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_one, bits_many, "{kernel:?}: final ensemble diverged at {ranks} ranks");
+        assert_eq!(fingerprint(&one), fingerprint(&many));
+    }
+}
+
+#[test]
+fn ten_cycle_osse_is_bitwise_rank_invariant_batched() {
+    assert_rank_invariant(ScoreKernel::Batched);
+}
+
+#[test]
+fn ten_cycle_osse_is_bitwise_rank_invariant_reference() {
+    assert_rank_invariant(ScoreKernel::Reference);
+}
+
+/// Child entry point for the SIMD-cap subprocess protocol: inert unless
+/// `DIST_DET_CHILD` is set, in which case it runs the experiment at
+/// `DIST_DET_RANKS` ranks (under whatever `LINALG_SIMD` the parent set
+/// before this process started) and prints the trajectory fingerprint.
+#[test]
+fn simd_cap_child() {
+    if std::env::var("DIST_DET_CHILD").is_err() {
+        return;
+    }
+    let ranks: usize = std::env::var("DIST_DET_RANKS")
+        .expect("parent sets DIST_DET_RANKS")
+        .parse()
+        .expect("DIST_DET_RANKS is a rank count");
+    let result = run_osse(&determinism_config(ScoreKernel::Batched), ranks).unwrap();
+    println!("DIST_FINGERPRINT {:016x}", fingerprint(&result));
+}
+
+/// Runs `simd_cap_child` in a subprocess with the given SIMD cap and rank
+/// count and returns the fingerprint it printed.
+fn child_fingerprint(cap: &str, ranks: usize) -> String {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args(["simd_cap_child", "--exact", "--nocapture"])
+        .env("LINALG_SIMD", cap)
+        .env("DIST_DET_CHILD", "1")
+        .env("DIST_DET_RANKS", ranks.to_string())
+        .output()
+        .expect("spawn test subprocess");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "child (cap {cap}, {ranks} ranks) failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The libtest harness may glue "test simd_cap_child ..." onto the same
+    // line, so match the marker anywhere rather than at line start.
+    stdout
+        .split("DIST_FINGERPRINT ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no fingerprint in child output:\n{stdout}"))
+        .to_string()
+}
+
+#[test]
+fn rank_invariance_holds_under_scalar_simd_cap() {
+    assert_eq!(child_fingerprint("scalar", 1), child_fingerprint("scalar", 4));
+}
+
+#[test]
+fn rank_invariance_holds_under_avx2_simd_cap() {
+    assert_eq!(child_fingerprint("avx2", 1), child_fingerprint("avx2", 8));
+}

@@ -1,0 +1,239 @@
+//! Golden-file regression harness for the two analysis schemes.
+//!
+//! Runs a reduced-grid OSSE (`n = 16`, `d = 512`, 10 cycles) for EnSF and
+//! LETKF and compares the analysis ensemble mean and spread after cycles
+//! 1, 5 and 10 against fixtures under `tests/golden/`. A drifting kernel —
+//! a reassociated reduction, a changed RNG stream, a sign slip — shows up
+//! here as a readable diff (max abs error, first mismatching index) rather
+//! than as a silently different RMSE curve.
+//!
+//! The fixtures are generated with `LINALG_SIMD=scalar` (the portable
+//! reference semantics; every test here pins the cap before first use of
+//! linalg) and compared with a small tolerance (`GOLDEN_TOL`, default
+//! `1e-9` relative) to absorb cross-toolchain libm differences.
+//!
+//! Regenerate after an *intentional* numerics change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_regression
+//! ```
+
+use sqg_da::da_core::osse::{initial_ensemble, nature_run, OsseConfig};
+use sqg_da::da_core::{AnalysisScheme, EnsfScheme, ForecastModel, LetkfScheme, SqgForecast};
+use sqg_da::ensf::EnsfConfig;
+use sqg_da::letkf::LetkfConfig;
+use sqg_da::sqg::SqgParams;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Cycles (1-indexed) whose analysis statistics the fixtures pin.
+const CHECKPOINTS: [usize; 3] = [1, 5, 10];
+
+/// Pins the SIMD dispatch to the scalar reference kernels before anything
+/// in this process touches linalg (the level latches in a `OnceLock`), so
+/// fixtures compare across machines with different vector units.
+fn pin_scalar_simd() {
+    static PIN: std::sync::Once = std::sync::Once::new();
+    PIN.call_once(|| {
+        std::env::set_var("LINALG_SIMD", "scalar");
+        assert_eq!(
+            sqg_da::linalg::simd::level(),
+            sqg_da::linalg::simd::Level::Scalar,
+            "SIMD level latched before the golden harness could pin it"
+        );
+    });
+}
+
+fn osse_config() -> OsseConfig {
+    OsseConfig {
+        params: SqgParams { n: 16, ..Default::default() },
+        cycles: 10,
+        obs_sigma: 0.005,
+        ens_size: 8,
+        ic_sigma: 0.01,
+        spinup_steps: 40,
+        seed: 3,
+        ..Default::default()
+    }
+}
+
+/// `(cycle, analysis mean, analysis spread)` at each checkpoint.
+type Trajectory = Vec<(usize, Vec<f64>, f64)>;
+
+/// Runs the 10-cycle OSSE with the given scheme, recording the analysis
+/// mean and spread at the checkpoint cycles.
+fn run_trajectory(scheme: &mut dyn AnalysisScheme) -> Trajectory {
+    let config = osse_config();
+    let nature = nature_run(&config);
+    let mut model = SqgForecast::perfect(config.params.clone());
+    let mut ensemble = initial_ensemble(&config, &nature.truth[0]);
+    let mut out = Vec::new();
+    for cycle in 0..config.cycles {
+        model.forecast_ensemble(&mut ensemble, config.obs_interval_hours);
+        ensemble = scheme.analyze(&ensemble, &nature.observations[cycle]);
+        if CHECKPOINTS.contains(&(cycle + 1)) {
+            out.push((cycle + 1, ensemble.mean(), ensemble.spread()));
+        }
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.golden"))
+}
+
+fn render(name: &str, traj: &Trajectory) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# {name} golden trajectory: reduced SQG OSSE (n=16, d=512), scalar SIMD");
+    let _ = writeln!(s, "# regenerate: UPDATE_GOLDEN=1 cargo test --test golden_regression");
+    for (cycle, mean, spread) in traj {
+        let _ = writeln!(s, "cycle {cycle} spread {spread:.17e}");
+        let _ = writeln!(s, "cycle {cycle} mean {}", mean.len());
+        for v in mean {
+            let _ = writeln!(s, "{v:.17e}");
+        }
+    }
+    s
+}
+
+/// Parses a fixture back into a trajectory.
+///
+/// # Panics
+/// Panics with a descriptive message on any malformed line — a corrupted
+/// fixture should read as corruption, not as a numerics regression.
+fn parse(name: &str, text: &str) -> Trajectory {
+    let mut out: Trajectory = Vec::new();
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.starts_with('#'));
+    while let Some((ln, line)) = lines.next() {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["cycle", c, "spread", v] => {
+                let cycle: usize = c.parse().unwrap_or_else(|_| panic!("{name}:{ln}: bad cycle"));
+                let spread: f64 = v.parse().unwrap_or_else(|_| panic!("{name}:{ln}: bad spread"));
+                out.push((cycle, Vec::new(), spread));
+            }
+            ["cycle", c, "mean", n] => {
+                let cycle: usize = c.parse().unwrap_or_else(|_| panic!("{name}:{ln}: bad cycle"));
+                let n: usize = n.parse().unwrap_or_else(|_| panic!("{name}:{ln}: bad length"));
+                let entry = out
+                    .iter_mut()
+                    .find(|(c, ..)| *c == cycle)
+                    .unwrap_or_else(|| panic!("{name}:{ln}: mean before spread for cycle {cycle}"));
+                for _ in 0..n {
+                    let (ln, line) =
+                        lines.next().unwrap_or_else(|| panic!("{name}: truncated mean block"));
+                    entry.1.push(
+                        line.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("{name}:{ln}: bad value {line:?}")),
+                    );
+                }
+            }
+            _ => panic!("{name}:{ln}: unrecognized fixture line {line:?}"),
+        }
+    }
+    out
+}
+
+fn tolerance() -> f64 {
+    std::env::var("GOLDEN_TOL").ok().and_then(|v| v.parse().ok()).unwrap_or(1e-9)
+}
+
+/// Compares a vector against its golden values, reporting the max abs
+/// error and the first mismatching index on failure.
+fn assert_close(name: &str, what: &str, got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len(), "{name}: {what}: length {} != golden {}", got.len(), want.len());
+    let tol = tolerance();
+    let mut max_err = 0.0f64;
+    let mut first_bad = None;
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let err = (g - w).abs();
+        max_err = max_err.max(err);
+        if err > tol * (1.0 + w.abs()) && first_bad.is_none() {
+            first_bad = Some(i);
+        }
+    }
+    if let Some(i) = first_bad {
+        panic!(
+            "{name}: {what} drifted from golden fixture:\n  \
+             max-abs-err {max_err:.3e} (tol {tol:.1e})\n  \
+             first mismatch at index {i}: got {:.17e}, golden {:.17e}\n  \
+             if the numerics change was intentional, regenerate with\n  \
+             UPDATE_GOLDEN=1 cargo test --test golden_regression",
+            got[i], want[i]
+        );
+    }
+}
+
+fn check_against_golden(name: &str, traj: &Trajectory) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, render(name, traj)).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); generate it with \
+             UPDATE_GOLDEN=1 cargo test --test golden_regression",
+            path.display()
+        )
+    });
+    let golden = parse(name, &text);
+    assert_eq!(
+        golden.iter().map(|(c, ..)| *c).collect::<Vec<_>>(),
+        CHECKPOINTS.to_vec(),
+        "{name}: fixture checkpoints"
+    );
+    for ((gc, gmean, gspread), (c, mean, spread)) in golden.iter().zip(traj) {
+        assert_eq!(gc, c);
+        assert_close(name, &format!("cycle {c} mean"), mean, gmean);
+        assert_close(name, &format!("cycle {c} spread"), &[*spread], &[*gspread]);
+    }
+}
+
+#[test]
+fn ensf_trajectory_matches_golden() {
+    pin_scalar_simd();
+    let config = osse_config();
+    let mut scheme = EnsfScheme::new(
+        EnsfConfig { n_steps: 10, seed: 5, ..Default::default() },
+        config.params.state_dim(),
+        config.obs_sigma,
+    );
+    check_against_golden("ensf", &run_trajectory(&mut scheme));
+}
+
+#[test]
+fn letkf_trajectory_matches_golden() {
+    pin_scalar_simd();
+    let config = osse_config();
+    let mut scheme = LetkfScheme::new(LetkfConfig::default(), &config.params, config.obs_sigma);
+    check_against_golden("letkf", &run_trajectory(&mut scheme));
+}
+
+#[test]
+fn fixtures_roundtrip_through_the_parser() {
+    pin_scalar_simd();
+    let traj: Trajectory =
+        vec![(1, vec![0.5, -1.25e-3], 0.125), (5, vec![2.0, 3.0], 0.25), (10, vec![], 0.0)];
+    let parsed = parse("roundtrip", &render("roundtrip", &traj));
+    assert_eq!(parsed, traj);
+}
+
+#[test]
+fn golden_diff_is_readable() {
+    pin_scalar_simd();
+    // A tampered value must fail with the max-abs-err / first-index report,
+    // not an opaque assert.
+    let got = vec![1.0, 2.0, 3.0];
+    let mut want = got.clone();
+    want[1] = 2.5;
+    let err = std::panic::catch_unwind(|| assert_close("demo", "cycle 1 mean", &got, &want))
+        .expect_err("tampered fixture must fail");
+    let msg = err.downcast_ref::<String>().expect("panic carries a message");
+    assert!(msg.contains("max-abs-err 5.000e-1"), "unexpected diff: {msg}");
+    assert!(msg.contains("first mismatch at index 1"), "unexpected diff: {msg}");
+    assert!(msg.contains("UPDATE_GOLDEN=1"), "unexpected diff: {msg}");
+}
