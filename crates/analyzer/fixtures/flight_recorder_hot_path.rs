@@ -1,0 +1,10 @@
+//! Seeded violation: a flight-recorder style telemetry hot path marked
+//! `// lint: no_alloc` that sneaks in a `format!` allocation (line 7).
+
+// lint: no_alloc
+pub fn flight_record(cycle: i64, label: &str, buf: &mut [u8; 48]) {
+    // Rendering through format! allocates a String on every event.
+    let rendered = format!("{cycle}:{label}");
+    let n = rendered.len().min(buf.len());
+    buf[..n].copy_from_slice(&rendered.as_bytes()[..n]);
+}

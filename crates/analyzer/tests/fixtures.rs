@@ -59,6 +59,14 @@ fn no_alloc_in_hot_path_fixture() {
     assert_single_finding("no_alloc_in_hot_path.rs", "no-alloc-in-hot-path", 5);
 }
 
+/// The telemetry flight recorder's recording path is `no_alloc`-marked;
+/// this fixture pins that the lint catches the realistic regression there
+/// (rendering an event label with `format!`).
+#[test]
+fn flight_recorder_hot_path_fixture() {
+    assert_single_finding("flight_recorder_hot_path.rs", "no-alloc-in-hot-path", 7);
+}
+
 #[test]
 fn float_exact_compare_fixture() {
     assert_single_finding("float_exact_compare.rs", "float-exact-compare", 4);
@@ -88,6 +96,7 @@ fn every_fixture_is_covered_by_a_test() {
         names,
         vec![
             "clean.rs",
+            "flight_recorder_hot_path.rs",
             "float_exact_compare.rs",
             "no_alloc_in_hot_path.rs",
             "nondeterministic_api.rs",

@@ -1,0 +1,257 @@
+//! Bench-regression gate: compares a fresh `perf_suite` / `scaling_suite`
+//! run against the committed baselines and fails on large regressions.
+//!
+//! The committed `BENCH_perf.json` / `BENCH_scaling.json` hold paper-scale
+//! shapes, while CI runs the suites with `--quick` (small shapes), so raw
+//! wall times are not comparable across the pair. The gate therefore
+//! checks **shape-independent derived ratios** — kernel speedups, scaling
+//! efficiency, GFLOPS throughput — each with its own tolerance: a fresh
+//! value below `baseline × (1 − tolerance)` fails the gate. Metrics
+//! missing from either file are reported as skipped, never failed, so the
+//! gate degrades gracefully when a suite gains or loses a section.
+//!
+//! Run: `cargo run --release -p bench --bin bench_gate -- \
+//!   --fresh-perf BENCH_perf_quick.json --baseline-perf BENCH_perf.json \
+//!   --fresh-scaling BENCH_scaling_quick.json --baseline-scaling BENCH_scaling.json`
+
+use bench::Json;
+
+/// One gated metric: a named extractor plus a relative tolerance.
+struct Metric {
+    /// Dotted metric name shown in the report.
+    name: &'static str,
+    /// Allowed relative regression: fail when
+    /// `fresh < baseline × (1 − tolerance)`.
+    tolerance: f64,
+    /// Pulls the metric out of a suite report; `None` ⇒ skip.
+    extract: fn(&Json) -> Option<f64>,
+}
+
+/// Minimum `speedup` across the EnSF kernel rows.
+fn ensf_min_speedup(doc: &Json) -> Option<f64> {
+    let rows = doc.get("results")?.get("ensf")?.as_arr()?;
+    rows.iter()
+        .map(|r| r.get("speedup").and_then(Json::as_f64))
+        .collect::<Option<Vec<f64>>>()?
+        .into_iter()
+        .reduce(f64::min)
+}
+
+fn sqg_plan_cache_speedup(doc: &Json) -> Option<f64> {
+    doc.get("results")?.get("sqg")?.get("plan_cache_speedup")?.as_f64()
+}
+
+fn gemm_matmul_gflops(doc: &Json) -> Option<f64> {
+    doc.get("results")?.get("gemm")?.get("matmul_gflops")?.as_f64()
+}
+
+fn gemm_abt_gflops(doc: &Json) -> Option<f64> {
+    doc.get("results")?.get("gemm")?.get("abt_gflops")?.as_f64()
+}
+
+/// Strong-scaling speedup at a fixed rank count (rank counts shared by the
+/// quick and full ladders, so the ratio is comparable across shapes).
+fn strong_speedup_at(doc: &Json, ranks: i64) -> Option<f64> {
+    let rows = doc.get("results")?.get("strong")?.as_arr()?;
+    rows.iter()
+        .find(|r| r.get("ranks").and_then(Json::as_i64) == Some(ranks))?
+        .get("speedup")?
+        .as_f64()
+}
+
+fn strong_speedup_2(doc: &Json) -> Option<f64> {
+    strong_speedup_at(doc, 2)
+}
+
+fn strong_speedup_4(doc: &Json) -> Option<f64> {
+    strong_speedup_at(doc, 4)
+}
+
+/// The perf-suite metrics. Speedup ratios survive the quick/full shape
+/// change but compress at small sizes, so their tolerances are looser
+/// than the headline 25%.
+const PERF_METRICS: &[Metric] = &[
+    Metric { name: "ensf.min_speedup", tolerance: 0.60, extract: ensf_min_speedup },
+    Metric { name: "sqg.plan_cache_speedup", tolerance: 0.40, extract: sqg_plan_cache_speedup },
+    Metric { name: "gemm.matmul_gflops", tolerance: 0.50, extract: gemm_matmul_gflops },
+    Metric { name: "gemm.abt_gflops", tolerance: 0.50, extract: gemm_abt_gflops },
+];
+
+/// The scaling-suite metrics.
+const SCALING_METRICS: &[Metric] = &[
+    Metric { name: "scaling.strong_speedup@2", tolerance: 0.40, extract: strong_speedup_2 },
+    Metric { name: "scaling.strong_speedup@4", tolerance: 0.60, extract: strong_speedup_4 },
+];
+
+/// Outcome of one metric comparison.
+#[derive(Debug, PartialEq)]
+enum Verdict {
+    Ok { fresh: f64, baseline: f64 },
+    Regressed { fresh: f64, baseline: f64, floor: f64 },
+    Skipped,
+}
+
+fn judge(metric: &Metric, fresh: &Json, baseline: &Json) -> Verdict {
+    match ((metric.extract)(fresh), (metric.extract)(baseline)) {
+        (Some(f), Some(b)) => {
+            let floor = b * (1.0 - metric.tolerance);
+            if f < floor {
+                Verdict::Regressed { fresh: f, baseline: b, floor }
+            } else {
+                Verdict::Ok { fresh: f, baseline: b }
+            }
+        }
+        _ => Verdict::Skipped,
+    }
+}
+
+/// Judges every metric of one suite pair; returns the number of failures.
+fn gate_suite(label: &str, metrics: &[Metric], fresh: &Json, baseline: &Json) -> usize {
+    println!("{label}:");
+    let mut failures = 0;
+    for m in metrics {
+        match judge(m, fresh, baseline) {
+            Verdict::Ok { fresh, baseline } => {
+                println!(
+                    "  {:<28} fresh {:>10.4}  baseline {:>10.4}  (tol {:.0}%)  ok",
+                    m.name,
+                    fresh,
+                    baseline,
+                    m.tolerance * 100.0
+                );
+            }
+            Verdict::Regressed { fresh, baseline, floor } => {
+                println!(
+                    "  {:<28} fresh {:>10.4}  baseline {:>10.4}  floor {:.4}  REGRESSED",
+                    m.name, fresh, baseline, floor
+                );
+                failures += 1;
+            }
+            Verdict::Skipped => {
+                println!("  {:<28} skipped (missing from fresh or baseline)", m.name);
+            }
+        }
+    }
+    failures
+}
+
+fn load(args: &[String], flag: &str) -> Option<Json> {
+    let path = args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))?;
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {flag} {path}: {e}"));
+    Some(
+        telemetry::json::parse(&text)
+            .unwrap_or_else(|e| panic!("{flag} {path} is not valid JSON: {e}")),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    println!("bench_gate: fresh-vs-baseline regression check on derived ratios\n");
+
+    let mut failures = 0;
+    let mut compared = 0;
+    if let (Some(fresh), Some(base)) = (load(&args, "--fresh-perf"), load(&args, "--baseline-perf"))
+    {
+        failures += gate_suite("perf_suite", PERF_METRICS, &fresh, &base);
+        compared += 1;
+    }
+    if let (Some(fresh), Some(base)) =
+        (load(&args, "--fresh-scaling"), load(&args, "--baseline-scaling"))
+    {
+        failures += gate_suite("scaling_suite", SCALING_METRICS, &fresh, &base);
+        compared += 1;
+    }
+    if compared == 0 {
+        eprintln!(
+            "bench_gate: nothing to compare; pass --fresh-perf/--baseline-perf and/or \
+             --fresh-scaling/--baseline-scaling"
+        );
+        std::process::exit(2);
+    }
+    if failures > 0 {
+        eprintln!("\nbench_gate: {failures} metric(s) regressed");
+        std::process::exit(1);
+    }
+    println!("\nbench_gate: all compared metrics within tolerance");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perf_doc(speedups: &[f64], plan_cache: f64, matmul: f64, abt: f64) -> Json {
+        let rows: Vec<Json> = speedups
+            .iter()
+            .map(|&s| Json::obj(vec![("speedup", Json::Num(s))]))
+            .collect();
+        Json::obj(vec![(
+            "results",
+            Json::obj(vec![
+                ("ensf", Json::Arr(rows)),
+                ("sqg", Json::obj(vec![("plan_cache_speedup", Json::Num(plan_cache))])),
+                (
+                    "gemm",
+                    Json::obj(vec![
+                        ("matmul_gflops", Json::Num(matmul)),
+                        ("abt_gflops", Json::Num(abt)),
+                    ]),
+                ),
+            ]),
+        )])
+    }
+
+    fn scaling_doc(speedups: &[(i64, f64)]) -> Json {
+        let rows: Vec<Json> = speedups
+            .iter()
+            .map(|&(r, s)| {
+                Json::obj(vec![("ranks", Json::Int(r)), ("speedup", Json::Num(s))])
+            })
+            .collect();
+        Json::obj(vec![("results", Json::obj(vec![("strong", Json::Arr(rows))]))])
+    }
+
+    #[test]
+    fn extractors_pull_the_right_numbers() {
+        let doc = perf_doc(&[3.2, 2.1, 3.6], 1.4, 13.0, 31.0);
+        assert_eq!(ensf_min_speedup(&doc), Some(2.1));
+        assert_eq!(sqg_plan_cache_speedup(&doc), Some(1.4));
+        assert_eq!(gemm_matmul_gflops(&doc), Some(13.0));
+        assert_eq!(gemm_abt_gflops(&doc), Some(31.0));
+        let sc = scaling_doc(&[(1, 1.0), (2, 1.9), (4, 3.4)]);
+        assert_eq!(strong_speedup_2(&sc), Some(1.9));
+        assert_eq!(strong_speedup_4(&sc), Some(3.4));
+        assert_eq!(strong_speedup_at(&sc, 16), None, "absent rank row is a skip");
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_regression_fails() {
+        let m = &PERF_METRICS[0]; // ensf.min_speedup, tol 0.60
+        let base = perf_doc(&[3.0], 1.0, 1.0, 1.0);
+        // 40% of baseline is exactly the floor: not a regression.
+        let at_floor = perf_doc(&[3.0 * (1.0 - m.tolerance)], 1.0, 1.0, 1.0);
+        assert!(matches!(judge(m, &at_floor, &base), Verdict::Ok { .. }));
+        let below = perf_doc(&[3.0 * (1.0 - m.tolerance) - 0.01], 1.0, 1.0, 1.0);
+        assert!(matches!(judge(m, &below, &base), Verdict::Regressed { .. }));
+        let better = perf_doc(&[4.0], 1.0, 1.0, 1.0);
+        assert!(matches!(judge(m, &better, &base), Verdict::Ok { .. }));
+    }
+
+    #[test]
+    fn missing_metrics_are_skipped_not_failed() {
+        let m = &SCALING_METRICS[1]; // strong_speedup@4
+        let base = scaling_doc(&[(1, 1.0), (2, 1.9)]); // no rank-4 row
+        let fresh = scaling_doc(&[(1, 1.0), (2, 1.8), (4, 3.0)]);
+        assert_eq!(judge(m, &fresh, &base), Verdict::Skipped);
+        // Entirely malformed documents also skip.
+        assert_eq!(judge(m, &Json::Null, &fresh), Verdict::Skipped);
+    }
+
+    #[test]
+    fn gate_suite_counts_failures() {
+        let base = perf_doc(&[3.0], 1.5, 10.0, 30.0);
+        let bad = perf_doc(&[0.5], 1.4, 9.0, 29.0); // only ensf regresses
+        assert_eq!(gate_suite("t", PERF_METRICS, &bad, &base), 1);
+        assert_eq!(gate_suite("t", PERF_METRICS, &base, &base), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Wiring between the pure statistics in [`stats::diagnostics`] and the
+//! [`telemetry::DaDiagnostics`] payload attached to cycle records.
+//!
+//! The diagnostics split across the analysis step: the O−F innovation
+//! moments, chi-squared consistency, and rank histogram are functions of
+//! the **forecast** ensemble (capture them with [`forecast_stats`] before
+//! calling the analysis scheme), while the O−A residual moments and the
+//! spread–skill ratio are functions of the **analysis** ensemble
+//! ([`complete`]). Callers pass the truth-based RMSE they already compute
+//! as the skill denominator, so no extra passes over the state are needed.
+
+use stats::diagnostics as sd;
+use stats::Ensemble;
+use telemetry::DaDiagnostics;
+
+/// Observation-space statistics of the forecast ensemble, captured before
+/// the analysis update overwrites it.
+#[derive(Debug, Clone)]
+pub struct ForecastObsStats {
+    /// Mean of the O−F innovation.
+    pub of_mean: f64,
+    /// Variance of the O−F innovation.
+    pub of_var: f64,
+    /// Chi-squared innovation consistency per degree of freedom.
+    pub chi2: f64,
+    /// Rank histogram of the observations against the forecast ensemble.
+    pub rank_hist: Vec<u64>,
+}
+
+/// Computes the forecast half of the per-cycle diagnostics: innovation
+/// moments, chi-squared consistency, and the rank histogram (subsampled
+/// via [`sd::rank_histogram_stride`] so cost stays bounded at any state
+/// dimension).
+///
+/// # Panics
+/// Panics if `y` does not match the ensemble dimension or `sigma_obs` is
+/// not positive.
+pub fn forecast_stats(forecast: &Ensemble, y: &[f64], sigma_obs: f64) -> ForecastObsStats {
+    let mean = forecast.mean();
+    let (of_mean, of_var) = sd::residual_moments(&mean, y);
+    ForecastObsStats {
+        of_mean,
+        of_var,
+        chi2: sd::chi_squared(forecast, y, sigma_obs),
+        rank_hist: sd::rank_histogram(forecast, y, sd::rank_histogram_stride(y.len())),
+    }
+}
+
+/// Completes the per-cycle diagnostics after the analysis update: O−A
+/// residual moments from the analysis ensemble plus the spread–skill
+/// ratio, with `skill_rmse` the truth-based analysis RMSE the harness
+/// already computed (the skill denominator).
+///
+/// # Panics
+/// Panics if `y` does not match the analysis ensemble dimension.
+pub fn complete(
+    pre: &ForecastObsStats,
+    analysis: &Ensemble,
+    y: &[f64],
+    skill_rmse: f64,
+) -> DaDiagnostics {
+    let mean = analysis.mean();
+    let (oa_mean, oa_var) = sd::residual_moments(&mean, y);
+    DaDiagnostics {
+        of_mean: pre.of_mean,
+        of_var: pre.of_var,
+        oa_mean,
+        oa_var,
+        chi2: pre.chi2,
+        spread_skill: sd::spread_skill(analysis.spread(), skill_rmse),
+        rank_hist: pre.rank_hist.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_member() -> Ensemble {
+        Ensemble::from_members(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]])
+    }
+
+    #[test]
+    fn forecast_stats_match_underlying_functions() {
+        let ens = three_member();
+        let y = [2.5, 1.5];
+        let s = forecast_stats(&ens, &y, 0.5);
+        // Forecast mean is [2, 2]: residuals are [0.5, -0.5].
+        assert!(s.of_mean.abs() < 1e-15);
+        assert!((s.of_var - 0.25).abs() < 1e-15);
+        assert_eq!(s.rank_hist, sd::rank_histogram(&ens, &y, 1));
+        assert!((s.chi2 - sd::chi_squared(&ens, &y, 0.5)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn complete_merges_both_halves() {
+        let ens = three_member();
+        let y = [2.5, 1.5];
+        let pre = forecast_stats(&ens, &y, 0.5);
+        let d = complete(&pre, &ens, &y, 0.1);
+        assert_eq!(d.of_mean, pre.of_mean);
+        assert_eq!(d.chi2, pre.chi2);
+        assert_eq!(d.rank_hist, pre.rank_hist);
+        assert!(d.oa_var > 0.0);
+        assert!((d.spread_skill - ens.spread() / 0.1).abs() < 1e-12);
+        // Zero skill never yields a non-finite ratio.
+        assert_eq!(complete(&pre, &ens, &y, 0.0).spread_skill, 0.0);
+    }
+}

@@ -31,6 +31,7 @@
 // RK4 stage loops update state arrays at matched indices.
 #![allow(clippy::needless_range_loop)]
 
+pub mod diagnostics;
 mod error;
 pub mod experiments;
 mod forecast;

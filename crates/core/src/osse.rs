@@ -202,6 +202,15 @@ pub fn run_experiment(
         let t_fc = telemetry::enabled().then(std::time::Instant::now);
         model.forecast_ensemble(&mut ensemble, config.obs_interval_hours);
         let forecast_secs = t_fc.map(|t| t.elapsed().as_secs_f64());
+        // Forecast half of the per-cycle diagnostics, captured before the
+        // analysis overwrites the forecast ensemble.
+        let pre_diag = telemetry::enabled().then(|| {
+            crate::diagnostics::forecast_stats(
+                &ensemble,
+                &nature.observations[cycle],
+                config.obs_sigma,
+            )
+        });
         // Analysis.
         let t_an = telemetry::enabled().then(std::time::Instant::now);
         let analysis = scheme.analyze(&ensemble, &nature.observations[cycle]);
@@ -227,6 +236,15 @@ pub fn run_experiment(
                     ("analysis".to_string(), analysis_secs.unwrap_or(0.0)),
                 ],
                 events: Vec::new(),
+                diagnostics: pre_diag.as_ref().map(|pre| {
+                    crate::diagnostics::complete(
+                        pre,
+                        &ensemble,
+                        &nature.observations[cycle],
+                        // INVARIANT: rmse was pushed for this cycle above.
+                        *rmse.last().unwrap(),
+                    )
+                }),
             });
         }
 

@@ -22,6 +22,10 @@ pub struct HealthPolicy {
     pub divergence_factor: f64,
     /// Multiplicative anomaly inflation applied when divergence is flagged.
     pub divergence_inflation: f64,
+    /// Divergence additionally requires the observation-space spread–skill
+    /// ratio to fall below this: a large innovation with commensurate
+    /// spread is a hard cycle, not a diverging filter.
+    pub divergence_spread_skill: f64,
     /// A member whose RMS amplitude exceeds `outlier_factor ×
     /// climatology_sd` is quarantined as silently corrupted (finite but
     /// physically impossible).
@@ -43,6 +47,7 @@ impl HealthPolicy {
             reinflate_target: obs_sigma,
             divergence_factor: 2.0,
             divergence_inflation: 1.5,
+            divergence_spread_skill: 0.5,
             outlier_factor: 20.0,
             max_analysis_retries: 2,
             resample_sigma: obs_sigma,

@@ -47,6 +47,16 @@ pub enum LoopState {
 }
 
 impl LoopState {
+    /// Lower-case state name used in telemetry counter keys and flight
+    /// recorder labels (`"healthy"`, `"degraded"`, `"recovering"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            LoopState::Healthy => "healthy",
+            LoopState::Degraded => "degraded",
+            LoopState::Recovering => "recovering",
+        }
+    }
+
     pub(crate) fn from_u8(v: u8) -> Option<Self> {
         match v {
             0 => Some(LoopState::Healthy),
@@ -321,9 +331,20 @@ fn cycle_loop(
             _ => Some(nature.observations[cycle].clone()),
         };
 
+        // Forecast half of the per-cycle diagnostics (innovation moments,
+        // chi², rank histogram) — must be captured before the analysis
+        // overwrites the forecast ensemble.
+        let pre_diag = match (&obs, telemetry::enabled()) {
+            (Some(y), true) => {
+                Some(crate::diagnostics::forecast_stats(&ensemble, y, config.obs_sigma))
+            }
+            _ => None,
+        };
+
         // Analysis with bounded retry, optional fallback, and forecast-only
         // degradation as the last resort.
         let t_an = telemetry::enabled().then(std::time::Instant::now);
+        let mut retry_exhausted = false;
         let analysis = match &obs {
             None => {
                 counters.degraded_cycles += 1;
@@ -365,6 +386,14 @@ fn cycle_loop(
                 if produced.is_none() {
                     counters.degraded_cycles += 1;
                     events.push("degraded_cycle:analysis_failed".to_string());
+                    retry_exhausted = true;
+                    telemetry::flight_record(
+                        telemetry::FlightKind::RetryExhausted,
+                        cycle as i64,
+                        "analysis_retry_exhausted",
+                        (policy.max_analysis_retries + 1) as f64,
+                        forced_failures as f64,
+                    );
                 }
                 produced
             }
@@ -386,10 +415,17 @@ fn cycle_loop(
         }
 
         // Guardrail 3: climatology-relative divergence from the batch we
-        // actually assimilated → flag and loosen the ensemble.
+        // actually assimilated. A large innovation alone can just be a hard
+        // cycle; divergence is flagged only when the ensemble is *also*
+        // overconfident about it — obs-space spread–skill below the policy
+        // threshold — then the ensemble is loosened by inflation.
         if let Some(y) = &obs {
-            let innovation = stats::metrics::rmse(&ensemble.mean(), y);
-            if innovation > policy.divergence_factor * nature.climatology_sd {
+            let mean_a = ensemble.mean();
+            let innovation = stats::metrics::rmse(&mean_a, y);
+            let ratio = stats::diagnostics::spread_skill(ensemble.spread(), innovation);
+            if innovation > policy.divergence_factor * nature.climatology_sd
+                && ratio < policy.divergence_spread_skill
+            {
                 ensemble.inflate(policy.divergence_inflation);
                 counters.divergence_flags += 1;
                 events.push("divergence_detected".to_string());
@@ -401,6 +437,7 @@ fn cycle_loop(
         rmse.push(stats::metrics::rmse(&mean, &nature.truth[cycle + 1]));
         spread.push(ensemble.spread());
 
+        let prev_state = state;
         state = if events.is_empty() {
             match state {
                 LoopState::Degraded => LoopState::Recovering,
@@ -414,6 +451,50 @@ fn cycle_loop(
             for event in &events {
                 let key = event.split(':').next().unwrap_or(event);
                 telemetry::counter_add(&format!("resilience.{key}"), 1);
+                telemetry::flight_record(
+                    telemetry::FlightKind::Guardrail,
+                    cycle as i64,
+                    key,
+                    0.0,
+                    0.0,
+                );
+            }
+            if state != prev_state {
+                telemetry::counter_add("supervisor.transitions", 1);
+                telemetry::counter_add(
+                    &format!("supervisor.transition.{}_to_{}", prev_state.name(), state.name()),
+                    1,
+                );
+                telemetry::flight_record(
+                    telemetry::FlightKind::Transition,
+                    cycle as i64,
+                    &format!("{}->{}", prev_state.name(), state.name()),
+                    prev_state as u8 as f64,
+                    state as u8 as f64,
+                );
+            }
+            telemetry::gauge_set("supervisor.state", state as u8 as f64);
+            telemetry::gauge_set("supervisor.retries", counters.analysis_retries as f64);
+            telemetry::gauge_set("supervisor.fallbacks", counters.analysis_fallbacks as f64);
+            telemetry::gauge_set(
+                "supervisor.quarantined_members",
+                counters.quarantined_members as f64,
+            );
+            telemetry::gauge_set("supervisor.divergence_flags", counters.divergence_flags as f64);
+            let diagnostics = pre_diag.as_ref().zip(obs.as_ref()).map(|(pre, y)| {
+                // INVARIANT: rmse was pushed for this cycle above.
+                crate::diagnostics::complete(pre, &ensemble, y, *rmse.last().unwrap())
+            });
+            if let Some(d) = &diagnostics {
+                telemetry::gauge_set("supervisor.spread_skill", d.spread_skill);
+                telemetry::gauge_set("supervisor.chi2", d.chi2);
+                telemetry::flight_record(
+                    telemetry::FlightKind::CycleDiag,
+                    cycle as i64,
+                    "cycle_diagnostics",
+                    d.chi2,
+                    d.spread_skill,
+                );
             }
             telemetry::record_cycle(telemetry::CycleRecord {
                 label: label.to_string(),
@@ -428,7 +509,15 @@ fn cycle_loop(
                     ("analysis".to_string(), analysis_secs.unwrap_or(0.0)),
                 ],
                 events: events.clone(),
+                diagnostics,
             });
+            // Postmortem: dump *after* the cycle record so the snapshot's
+            // recent-cycles window includes the cycle that went wrong.
+            if retry_exhausted {
+                telemetry::dump_postmortem("analysis_retry_exhausted");
+            } else if prev_state == LoopState::Healthy && state == LoopState::Degraded {
+                telemetry::dump_postmortem("left_healthy");
+            }
         }
 
         model.assimilate_feedback(&prev_mean, &mean);

@@ -127,9 +127,23 @@ pub fn run_dist_experiment(
         let _span = telemetry::span!("dist.cycle");
         // Replicated forecast: deterministic, so every rank stays bitwise
         // in lockstep without exchanging state.
+        let t_fc = telemetry::enabled().then(std::time::Instant::now);
         model.forecast_ensemble(&mut ensemble, config.osse.obs_interval_hours);
+        let forecast_secs = t_fc.map(|t| t.elapsed().as_secs_f64());
+
+        // Forecast half of the per-cycle diagnostics, computed on rank 0
+        // only (the record would be identical on every rank — replicated
+        // state — so one rank speaks for the world).
+        let pre_diag = (telemetry::enabled() && comm.rank() == 0).then(|| {
+            da_core::diagnostics::forecast_stats(
+                &ensemble,
+                &nature.observations[cycle],
+                config.osse.obs_sigma,
+            )
+        });
 
         // Sharded analysis on this rank's block.
+        let t_an = telemetry::enabled().then(std::time::Instant::now);
         let local = dist_analyze(
             comm,
             &plan,
@@ -153,6 +167,7 @@ pub fn run_dist_experiment(
                 ensemble.member_mut(p)[lo..hi].copy_from_slice(&block[p * len..(p + 1) * len]);
             }
         }
+        let analysis_secs = t_an.map(|t| t.elapsed().as_secs_f64());
 
         let mean = ensemble.mean();
         hours.push((cycle + 1) as f64 * config.osse.obs_interval_hours);
@@ -164,6 +179,32 @@ pub fn run_dist_experiment(
             telemetry::gauge_set("dist.cycle.rmse", *rmse.last().unwrap());
             // INVARIANT: pushed immediately above.
             telemetry::gauge_set("dist.cycle.spread", *spread.last().unwrap());
+            if let Some(pre) = &pre_diag {
+                let diagnostics = da_core::diagnostics::complete(
+                    pre,
+                    &ensemble,
+                    &nature.observations[cycle],
+                    // INVARIANT: pushed immediately above.
+                    *rmse.last().unwrap(),
+                );
+                telemetry::gauge_set("dist.cycle.spread_skill", diagnostics.spread_skill);
+                telemetry::gauge_set("dist.cycle.chi2", diagnostics.chi2);
+                telemetry::record_cycle(telemetry::CycleRecord {
+                    label: format!("dist-ensf@{}r", comm.size()),
+                    cycle,
+                    // INVARIANT: pushed immediately above.
+                    hours: *hours.last().unwrap(),
+                    rmse: *rmse.last().unwrap(), // INVARIANT: pushed above
+                    spread: *spread.last().unwrap(), // INVARIANT: pushed above
+                    obs_count: nature.observations[cycle].len(),
+                    phases: vec![
+                        ("forecast".to_string(), forecast_secs.unwrap_or(0.0)),
+                        ("analysis".to_string(), analysis_secs.unwrap_or(0.0)),
+                    ],
+                    events: Vec::new(),
+                    diagnostics: Some(diagnostics),
+                });
+            }
         }
         cycle_means.push(mean);
     }

@@ -40,6 +40,9 @@
 //!   ([`run_dist_experiment`], [`run_osse`]).
 //! * [`bench`] — the sequential per-rank-timed driver behind the
 //!   `scaling_suite` bench bin.
+//! * [`timeline`] — the traced variant of the bench driver: per-rank
+//!   Chrome trace-event streams with a comm-vs-compute breakdown, behind
+//!   the `trace_report` bin.
 
 #![warn(missing_docs)]
 
@@ -47,11 +50,13 @@ pub mod analysis;
 pub mod bench;
 pub mod cycle;
 pub mod shard;
+pub mod timeline;
 
 pub use analysis::{dist_analyze, CommSpec, CommStats, DistObs, ShardKernel};
 pub use bench::{measure_analysis, ScalingMeasurement};
 pub use cycle::{run_dist_experiment, run_osse, DistCycleConfig, DistRunResult};
 pub use shard::ShardPlan;
+pub use timeline::{trace_timeline, CycleBreakdown, TimelineResult, TimelineSpec};
 
 /// Why a distributed experiment could not complete.
 #[derive(Debug, Clone, PartialEq)]

@@ -106,6 +106,14 @@ pub fn collective_with_retry(
     if !excluded.is_empty() {
         telemetry::counter_add("hpc.collective.shrinks", 1);
         telemetry::counter_add("hpc.collective.rank_failures", excluded.len() as u64);
+        telemetry::flight_record(
+            telemetry::FlightKind::CollectiveShrink,
+            -1,
+            "collective_shrink",
+            participants as f64,
+            excluded.len() as f64,
+        );
+        telemetry::dump_postmortem("collective_shrink");
     }
 
     // Worst remaining transient fault decides how many attempts fail.
@@ -130,6 +138,14 @@ pub fn collective_with_retry(
         time += backoff;
         backoff *= policy.backoff_multiplier;
     }
+    telemetry::flight_record(
+        telemetry::FlightKind::CollectiveExhausted,
+        -1,
+        "collective_retry_exhausted",
+        (1 + policy.max_retries) as f64,
+        bytes as f64,
+    );
+    telemetry::dump_postmortem("collective_retry_exhausted");
     Err(CollectiveError::Exhausted { attempts: 1 + policy.max_retries })
 }
 

@@ -142,6 +142,10 @@ impl Letkf {
         if telemetry::enabled() {
             telemetry::counter_add("letkf.analyses", 1);
             telemetry::gauge_set("letkf.analysis.spread", analysis.spread());
+            // O−F innovation-consistency moments over the whole network.
+            let (of_mean, of_var) = stats::diagnostics::moments(&innov_all);
+            telemetry::gauge_set("letkf.innovation.mean", of_mean);
+            telemetry::gauge_set("letkf.innovation.var", of_var);
         }
         analysis
     }

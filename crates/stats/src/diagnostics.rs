@@ -1,0 +1,206 @@
+//! Statistical consistency diagnostics for ensemble data assimilation.
+//!
+//! The pure numerical half of the observability layer: innovation moments,
+//! the chi-squared innovation-consistency statistic (the Desroziers check
+//! `E[d dᵀ] = H P_b Hᵀ + R` collapsed to its diagonal), ensemble rank
+//! histograms, and the spread–skill ratio. Everything here is plain
+//! deterministic arithmetic on slices and [`Ensemble`]s — the wiring into
+//! telemetry records lives in `da_core::diagnostics`.
+
+use crate::Ensemble;
+
+/// Mean and (population) variance of a residual sample.
+///
+/// Returns `(0.0, 0.0)` for an empty sample so downstream serialization
+/// never sees NaN.
+pub fn moments(d: &[f64]) -> (f64, f64) {
+    if d.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = d.len() as f64;
+    let mean = d.iter().sum::<f64>() / n;
+    let var = d.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var)
+}
+
+/// Mean and variance of the residual `y − mean` over matched components.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn residual_moments(mean: &[f64], y: &[f64]) -> (f64, f64) {
+    assert_eq!(mean.len(), y.len(), "residual operands must match");
+    if y.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = y.len() as f64;
+    let sum: f64 = y.iter().zip(mean).map(|(o, f)| o - f).sum();
+    let m = sum / n;
+    let var = y.iter().zip(mean).map(|(o, f)| (o - f - m) * (o - f - m)).sum::<f64>() / n;
+    (m, var)
+}
+
+/// Chi-squared innovation consistency per degree of freedom:
+/// `mean_i d_i² / (σ_b,i² + σ_obs²)` with `d = y − forecast mean` and
+/// `σ_b,i²` the per-variable forecast ensemble variance.
+///
+/// A well-calibrated filter sits near 1; ≫ 1 means the innovations are
+/// larger than the filter's own uncertainty budget explains
+/// (overconfidence), ≪ 1 means the ensemble is overdispersive.
+///
+/// # Panics
+/// Panics if `y` does not match the ensemble dimension or `sigma_obs` is
+/// not positive.
+pub fn chi_squared(forecast: &Ensemble, y: &[f64], sigma_obs: f64) -> f64 {
+    assert_eq!(y.len(), forecast.dim(), "observation/ensemble dimension mismatch");
+    assert!(sigma_obs > 0.0, "observation sigma must be positive");
+    if y.is_empty() {
+        return 0.0;
+    }
+    let mean = forecast.mean();
+    let var = forecast.variance();
+    let r = sigma_obs * sigma_obs;
+    let sum: f64 = y
+        .iter()
+        .zip(&mean)
+        .zip(&var)
+        .map(|((o, f), v)| {
+            let d = o - f;
+            d * d / (v + r)
+        })
+        .sum();
+    sum / y.len() as f64
+}
+
+/// Ensemble rank histogram (Talagrand diagram) of `y` against the
+/// ensemble, sampled every `stride` components: `M + 1` bins, bin `k`
+/// counting components where exactly `k` members fall below the observed
+/// value. Flat ⇒ the observation is statistically indistinguishable from a
+/// member; U-shaped ⇒ underdispersion; dome ⇒ overdispersion.
+///
+/// Non-finite member values never count as "below" (NaN comparisons are
+/// false), so a damaged member biases ranks low instead of poisoning the
+/// histogram.
+///
+/// # Panics
+/// Panics if `y` does not match the ensemble dimension or `stride` is zero.
+pub fn rank_histogram(ens: &Ensemble, y: &[f64], stride: usize) -> Vec<u64> {
+    assert_eq!(y.len(), ens.dim(), "observation/ensemble dimension mismatch");
+    assert!(stride > 0, "stride must be positive");
+    let members = ens.members();
+    let mut hist = vec![0u64; members + 1];
+    for i in (0..y.len()).step_by(stride) {
+        let rank = (0..members).filter(|&m| ens.member(m)[i] < y[i]).count();
+        hist[rank] += 1;
+    }
+    hist
+}
+
+/// Sampling stride that keeps a rank histogram near 256 sampled
+/// components regardless of state dimension.
+pub fn rank_histogram_stride(dim: usize) -> usize {
+    (dim / 256).max(1)
+}
+
+/// Spread–skill ratio `spread / skill`, returning `0.0` when the skill
+/// (error) is not positive so the ratio is always finite. Near 1 for a
+/// calibrated ensemble; ≪ 1 flags overconfidence (tiny spread against a
+/// large error — the divergence signature the supervisor watches for).
+pub fn spread_skill(spread: f64, skill: f64) -> f64 {
+    if skill > 0.0 && spread.is_finite() {
+        spread / skill
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::standard_normal;
+    use crate::rng::seeded;
+
+    #[test]
+    fn moments_of_known_sample() {
+        let (m, v) = moments(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-15);
+        assert!((v - 2.0 / 3.0).abs() < 1e-15);
+        assert_eq!(moments(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn residual_moments_match_direct_computation() {
+        let mean = [1.0, 1.0, 1.0, 1.0];
+        let y = [1.5, 0.5, 1.5, 0.5];
+        let (m, v) = residual_moments(&mean, &y);
+        assert!(m.abs() < 1e-15, "symmetric residuals have zero mean");
+        assert!((v - 0.25).abs() < 1e-15);
+        assert_eq!(residual_moments(&[], &[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn chi_squared_is_near_one_for_calibrated_ensemble() {
+        // Truth ~ N(0, 1) (same prior the members sample), members
+        // ~ N(0, 1), obs = truth + N(0, sigma^2): the innovation variance
+        // is 1 + sigma^2 (+ 1/M mean noise), which var_b + sigma^2 should
+        // explain.
+        let members = 40;
+        let dim = 400;
+        let sigma = 0.5;
+        let mut rng = seeded(17);
+        let mut ens = Ensemble::zeros(members, dim);
+        for m in 0..members {
+            for x in ens.member_mut(m) {
+                *x = standard_normal(&mut rng);
+            }
+        }
+        let y: Vec<f64> = (0..dim)
+            .map(|_| standard_normal(&mut rng) + sigma * standard_normal(&mut rng))
+            .collect();
+        let chi2 = chi_squared(&ens, &y, sigma);
+        assert!((0.5..2.0).contains(&chi2), "calibrated chi2 near 1, got {chi2}");
+    }
+
+    #[test]
+    fn chi_squared_flags_overconfidence() {
+        // Near-zero spread with a large innovation: chi2 explodes.
+        let ens = Ensemble::from_members(&[vec![0.0, 0.0], vec![1e-6, 1e-6]]);
+        let chi2 = chi_squared(&ens, &[1.0, 1.0], 0.01);
+        assert!(chi2 > 100.0, "overconfident filter must score high, got {chi2}");
+    }
+
+    #[test]
+    fn rank_histogram_extremes_and_shape() {
+        let ens = Ensemble::from_members(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        // Observation below every member: rank 0 everywhere.
+        assert_eq!(rank_histogram(&ens, &[0.0, 0.0], 1), vec![2, 0, 0, 0]);
+        // Observation above every member: rank M everywhere.
+        assert_eq!(rank_histogram(&ens, &[9.0, 9.0], 1), vec![0, 0, 0, 2]);
+        // Interior rank.
+        assert_eq!(rank_histogram(&ens, &[1.5, 2.5], 1), vec![0, 1, 1, 0]);
+        // Stride subsamples.
+        assert_eq!(rank_histogram(&ens, &[1.5, 2.5], 2).iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn rank_histogram_survives_nan_members() {
+        let ens = Ensemble::from_members(&[vec![f64::NAN], vec![1.0]]);
+        let hist = rank_histogram(&ens, &[2.0], 1);
+        assert_eq!(hist.iter().sum::<u64>(), 1, "every sampled component lands in a bin");
+    }
+
+    #[test]
+    fn stride_targets_256_samples() {
+        assert_eq!(rank_histogram_stride(100), 1);
+        assert_eq!(rank_histogram_stride(512), 2);
+        assert_eq!(rank_histogram_stride(8192), 32);
+    }
+
+    #[test]
+    fn spread_skill_is_total_and_finite() {
+        assert_eq!(spread_skill(0.5, 1.0), 0.5);
+        assert_eq!(spread_skill(0.5, 0.0), 0.0);
+        assert_eq!(spread_skill(0.5, -1.0), 0.0);
+        assert_eq!(spread_skill(f64::NAN, 1.0), 0.0);
+        assert_eq!(spread_skill(0.3, f64::NAN), 0.0);
+    }
+}

@@ -9,6 +9,8 @@
 //! - [`Ensemble`] — member-major ensemble container with mean/variance/
 //!   spread/anomaly/inflation operations used by both filters.
 //! - [`metrics`] — RMSE/bias/MAE/pattern-correlation/CRPS verification.
+//! - [`diagnostics`] — DA consistency statistics: innovation moments,
+//!   chi-squared calibration, rank histograms, spread–skill ratio.
 //! - [`softmax`] — stable log-sum-exp / softmax reductions (the EnSF score
 //!   weights in batched form).
 //! - [`spectrum`] — isotropic KE spectra and inertial-range slope fitting
@@ -21,6 +23,7 @@
 // Spectral binning indexes shells and wavevectors at matched positions.
 #![allow(clippy::needless_range_loop)]
 
+pub mod diagnostics;
 mod ensemble;
 pub mod gaussian;
 pub mod metrics;

@@ -7,6 +7,7 @@
 //! [`write_jsonl`]) and, when `SQG_DA_TELEMETRY_JSONL` names a file, stream
 //! to it as JSON Lines as they are recorded.
 
+use crate::diagnostics::DaDiagnostics;
 use crate::json::{self, Json};
 use parking_lot::Mutex;
 use std::fs::File;
@@ -34,12 +35,17 @@ pub struct CycleRecord {
     /// Resilience events raised during the cycle, e.g.
     /// `["member_quarantined:3", "analysis_retry:1"]` (empty when healthy).
     pub events: Vec<String>,
+    /// Statistical filter-health diagnostics (innovation moments, chi²,
+    /// rank histogram, spread–skill), when the harness computed them.
+    pub diagnostics: Option<DaDiagnostics>,
 }
 
 impl CycleRecord {
-    /// Serializes to a JSON object.
+    /// Serializes to a JSON object. The `diagnostics` key is emitted only
+    /// when present, so records from harnesses that don't compute
+    /// diagnostics keep their old shape.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut pairs = vec![
             ("label", Json::from(self.label.as_str())),
             ("cycle", Json::from(self.cycle)),
             ("hours", Json::Num(self.hours)),
@@ -56,7 +62,11 @@ impl CycleRecord {
                 "events",
                 Json::Arr(self.events.iter().map(|e| Json::from(e.as_str())).collect()),
             ),
-        ])
+        ];
+        if let Some(d) = &self.diagnostics {
+            pairs.push(("diagnostics", d.to_json()));
+        }
+        Json::obj(pairs)
     }
 
     /// Deserializes from the object shape produced by [`to_json`].
@@ -80,6 +90,13 @@ impl CycleRecord {
             Some(_) => return Err("events must be an array".into()),
             None => Vec::new(),
         };
+        // `diagnostics` is optional (absent from pre-observability records
+        // and from harnesses that don't compute it); present-but-malformed
+        // is an error, not a silent None.
+        let diagnostics = match v.get("diagnostics") {
+            Some(d) => Some(DaDiagnostics::from_json(d)?),
+            None => None,
+        };
         Ok(CycleRecord {
             label: v
                 .get("label")
@@ -93,6 +110,7 @@ impl CycleRecord {
             obs_count: f("obs_count")? as usize,
             phases,
             events,
+            diagnostics,
         })
     }
 }
@@ -185,6 +203,19 @@ mod tests {
             obs_count: 128,
             phases: vec![("forecast".into(), 0.012), ("analysis".into(), 0.034)],
             events: if cycle % 2 == 1 { vec![format!("member_quarantined:{cycle}")] } else { Vec::new() },
+            diagnostics: if cycle.is_multiple_of(2) {
+                Some(crate::DaDiagnostics {
+                    of_mean: 0.001,
+                    of_var: 0.02,
+                    oa_mean: 0.0004,
+                    oa_var: 0.008,
+                    chi2: 1.05,
+                    spread_skill: 0.9,
+                    rank_hist: vec![2, 4, 6, 4, 2],
+                })
+            } else {
+                None
+            },
         }
     }
 
@@ -239,5 +270,27 @@ mod tests {
     fn bad_lines_report_position() {
         let err = parse_jsonl("{\"label\":\"x\"}\n").unwrap_err();
         assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn malformed_diagnostics_are_rejected_not_dropped() {
+        // A record with a `diagnostics` key that is not a valid object
+        // must fail parsing (absent is fine; corrupt is not).
+        let good = sample(0).to_json().to_string();
+        let bad = good.replace("\"diagnostics\":{", "\"diagnostics\":[{");
+        assert_ne!(good, bad, "replacement must have applied");
+        // The mutation breaks JSON nesting, or — if it were balanced —
+        // the non-object diagnostics shape; either way line 2 errors.
+        let text = format!("{good}\n{bad}\n");
+        let err = parse_jsonl(&text).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+
+        // Balanced but wrong-typed diagnostics also fail.
+        let wrong = good.replace(
+            "\"diagnostics\":{",
+            "\"diagnostics\":true,\"unused\":{",
+        );
+        let err2 = parse_jsonl(&wrong).unwrap_err();
+        assert!(err2.contains("diagnostics"), "{err2}");
     }
 }

@@ -20,24 +20,39 @@
 //! * [`counter_add`] / [`gauge_set`] / [`histogram_record`] — named
 //!   metrics with sharded, rayon-safe aggregation.
 //! * [`CycleRecord`] + [`record_cycle`] — structured per-cycle DA
-//!   diagnostics (RMSE, spread, per-phase timings) serializable to JSONL.
+//!   diagnostics (RMSE, spread, per-phase timings, innovation statistics)
+//!   serializable to JSONL.
 //! * [`snapshot_json`](report::snapshot_json) — one JSON object with every
 //!   span and metric, used by the bench binaries' `--json` flag.
+//! * [`flight_record`] + [`dump_postmortem`] — allocation-free flight
+//!   recorder ring with a structured postmortem snapshot to
+//!   `SQG_DA_POSTMORTEM_DIR` when a run leaves its healthy state.
+//! * [`TraceEvent`] + [`chrome_trace`] — Chrome trace-event timelines for
+//!   the distributed runtime's cross-rank comm/compute breakdown.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
 pub mod cycle;
+pub mod diagnostics;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use cycle::{clear_cycles, cycle_records, record_cycle, write_jsonl, CycleRecord};
+pub use diagnostics::DaDiagnostics;
+pub use flight::{
+    dump_postmortem, flight_events, flight_record, reset_flight, set_postmortem_dir,
+    FlightEvent, FlightKind,
+};
 pub use json::Json;
 pub use metrics::{
     counter_add, counter_value, gauge_set, gauge_value, histogram_record, HistogramSnapshot,
 };
 pub use span::{span_enter, span_snapshot, SpanGuard, SpanStat};
+pub use trace::{chrome_trace, TraceEvent};
 
 /// Tri-state enable flag: 0 = unresolved, 1 = disabled, 2 = enabled.
 ///
@@ -77,13 +92,14 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
 }
 
-/// Resets all collected telemetry (spans, metrics, cycle records) without
-/// touching the enable state. Intended for tests and between-experiment
-/// boundaries.
+/// Resets all collected telemetry (spans, metrics, cycle records, flight
+/// events) without touching the enable state. Intended for tests and
+/// between-experiment boundaries.
 pub fn reset() {
     span::reset_spans();
     metrics::reset_metrics();
     cycle::clear_cycles();
+    flight::reset_flight();
 }
 
 /// Opens a named wall-clock span for the enclosing scope.

@@ -11,7 +11,8 @@
 //! observation accuracy.
 //!
 //! With `SQG_DA_TELEMETRY=1` each cycle is also captured as a structured
-//! record (RMSE, spread, per-phase timings) and written to
+//! record (RMSE, spread, per-phase timings, and the innovation / rank
+//! histogram / spread–skill diagnostics) and written to
 //! `quickstart_cycles.jsonl` — or streamed to `SQG_DA_TELEMETRY_JSONL` if
 //! that is set.
 
@@ -64,6 +65,8 @@ fn main() {
             .iter()
             .map(|&t| t + obs_sigma * gaussian::standard_normal(&mut obs_rng))
             .collect();
+        let pre_diag = telemetry::enabled()
+            .then(|| sqg_da::da_core::diagnostics::forecast_stats(&ensemble, &y, obs_sigma));
         let t_an = telemetry::enabled().then(std::time::Instant::now);
         ensemble = filter.analyze(&ensemble, &y, &obs_op);
         let analysis_secs = t_an.map(|t| t.elapsed().as_secs_f64());
@@ -83,6 +86,9 @@ fn main() {
                     ("analysis".to_string(), analysis_secs.unwrap_or(0.0)),
                 ],
                 events: Vec::new(),
+                diagnostics: pre_diag.as_ref().map(|pre| {
+                    sqg_da::da_core::diagnostics::complete(pre, &ensemble, &y, last_analysis)
+                }),
             });
         }
     }

@@ -16,6 +16,11 @@ use sqg_da::ensf::EnsfConfig;
 use sqg_da::letkf::LetkfConfig;
 use sqg_da::sqg::SqgParams;
 
+/// Serializes the tests that flip process-global telemetry state (enable
+/// flag, cycle records, flight ring, postmortem sink); the checkpoint
+/// tests run telemetry-dark and stay parallel.
+static TELEMETRY_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 fn chaos_config(cycles: usize, seed: u64) -> OsseConfig {
     OsseConfig {
         params: SqgParams { n: 16, ekman: 0.05, ..Default::default() },
@@ -52,6 +57,7 @@ fn ensf_scheme_with(
 /// enough to beat a free (no-DA) run.
 #[test]
 fn chaos_run_completes_and_beats_free_run() {
+    let _gate = TELEMETRY_GATE.lock().unwrap_or_else(|e| e.into_inner());
     let cfg = chaos_config(16, 23);
     let nr = nature_run(&cfg);
     let dim = nr.truth[0].len();
@@ -133,6 +139,104 @@ fn chaos_run_completes_and_beats_free_run() {
         run.series.steady_rmse(),
         free.steady_rmse()
     );
+}
+
+/// The flight recorder end to end: an injected fault knocks the
+/// supervisor out of `Healthy`, and that exact moment must produce a
+/// structured postmortem JSON on disk carrying (a) the `healthy->degraded`
+/// transition in the flight ring, (b) the degrading cycle's record with
+/// its innovation diagnostics attached, and (c) the supervisor counters.
+#[test]
+fn injected_fault_produces_postmortem_with_diagnostics_and_transition() {
+    let _gate = TELEMETRY_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = chaos_config(6, 53);
+    let nr = nature_run(&cfg);
+    let dim = nr.truth[0].len();
+    let dir = std::env::temp_dir().join("sqg_da_chaos_postmortem");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Two NaN'd members at cycle 3: quarantine ⇒ Healthy → Degraded.
+    let res = ResilienceConfig {
+        plan: FaultPlan {
+            member_faults: vec![
+                MemberFault { cycle: 3, member: 2, kind: MemberFaultKind::Nan },
+                MemberFault { cycle: 3, member: 5, kind: MemberFaultKind::Nan },
+            ],
+            ..FaultPlan::none()
+        },
+        health: Some(HealthPolicy {
+            spread_floor: 0.02 * cfg.obs_sigma,
+            ..HealthPolicy::for_obs_sigma(cfg.obs_sigma)
+        }),
+        ..Default::default()
+    };
+
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    telemetry::set_postmortem_dir(Some(&dir));
+    let mut model = SqgForecast::perfect(cfg.params.clone());
+    let mut scheme = ensf_scheme(&cfg, dim);
+    let run =
+        run_supervised("postmortem", &cfg, &res, &nr, &mut model, &mut scheme, None).unwrap();
+    telemetry::set_postmortem_dir(None);
+    telemetry::set_enabled(false);
+
+    assert_eq!(run.cycles[3].state, LoopState::Degraded, "fault must trip the supervisor");
+
+    // Exactly the left-Healthy moment dumped (later cycles transition
+    // Degraded → Recovering → Healthy, which is recovery, not a fault).
+    let mut dumps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("postmortem dir must exist")
+        .map(|e| e.unwrap().path())
+        .collect();
+    dumps.sort();
+    assert_eq!(dumps.len(), 1, "one postmortem expected, got {dumps:?}");
+    let doc = telemetry::json::parse(&std::fs::read_to_string(&dumps[0]).unwrap()).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(doc.get("reason").and_then(telemetry::Json::as_str), Some("left_healthy"));
+
+    // (a) The transition is in the flight ring, tagged with the cycle.
+    let flight = doc.get("flight").and_then(telemetry::Json::as_arr).unwrap();
+    let transition = flight
+        .iter()
+        .find(|e| e.get("kind").and_then(telemetry::Json::as_str) == Some("transition"))
+        .expect("flight ring must hold the state transition");
+    assert_eq!(transition.get("label").and_then(telemetry::Json::as_str), Some("healthy->degraded"));
+    assert_eq!(transition.get("cycle").and_then(telemetry::Json::as_i64), Some(3));
+    assert!(
+        flight.iter().any(|e| {
+            e.get("kind").and_then(telemetry::Json::as_str) == Some("guardrail")
+                && e.get("cycle").and_then(telemetry::Json::as_i64) == Some(3)
+        }),
+        "quarantine guardrail events must be on the ring"
+    );
+
+    // (b) The degrading cycle's record is in the snapshot, diagnostics
+    // attached and finite.
+    let cycles = doc.get("recent_cycles").and_then(telemetry::Json::as_arr).unwrap();
+    let degrading = cycles
+        .iter()
+        .find(|c| {
+            c.get("label").and_then(telemetry::Json::as_str) == Some("postmortem")
+                && c.get("cycle").and_then(telemetry::Json::as_i64) == Some(3)
+        })
+        .expect("snapshot must include the degrading cycle");
+    let diag = degrading.get("diagnostics").expect("degrading cycle must carry diagnostics");
+    for key in ["of_mean", "of_var", "oa_mean", "oa_var", "chi2", "spread_skill"] {
+        let v = diag.get(key).and_then(telemetry::Json::as_f64).unwrap_or(f64::NAN);
+        assert!(v.is_finite(), "diagnostics.{key} must be finite, got {v}");
+    }
+
+    // (c) Supervisor bookkeeping rode along.
+    let counters = doc.get("counters").unwrap();
+    assert_eq!(
+        counters
+            .get("supervisor.transition.healthy_to_degraded")
+            .and_then(telemetry::Json::as_i64),
+        Some(1)
+    );
+    assert!(counters.get("resilience.member_quarantined").is_some());
 }
 
 /// Kill the loop mid-run with checkpointing to a real file, restore from
