@@ -1,7 +1,9 @@
 //! Bench-regression gate: compares a fresh `perf_suite` / `scaling_suite`
-//! run against the committed baselines and fails on large regressions.
+//! / `elastic_suite` run against the committed baselines and fails on
+//! large regressions.
 //!
-//! The committed `BENCH_perf.json` / `BENCH_scaling.json` hold paper-scale
+//! The committed `BENCH_perf.json` / `BENCH_scaling.json` /
+//! `BENCH_elastic.json` hold paper-scale
 //! shapes, while CI runs the suites with `--quick` (small shapes), so raw
 //! wall times are not comparable across the pair. The gate therefore
 //! checks **shape-independent derived ratios** — kernel speedups, scaling
@@ -83,6 +85,50 @@ const SCALING_METRICS: &[Metric] = &[
     Metric { name: "scaling.strong_speedup@4", tolerance: 0.60, extract: strong_speedup_4 },
 ];
 
+/// A named field of one elastic-suite scenario row.
+fn elastic_scenario_field(doc: &Json, scenario: &str, field: &str) -> Option<f64> {
+    let rows = doc.get("results")?.get("scenarios")?.as_arr()?;
+    rows.iter()
+        .find(|r| r.get("name").and_then(Json::as_str) == Some(scenario))?
+        .get(field)?
+        .as_f64()
+}
+
+fn elastic_hit_rate_clean(doc: &Json) -> Option<f64> {
+    elastic_scenario_field(doc, "clean", "hit_rate")
+}
+
+fn elastic_hit_rate_kill(doc: &Json) -> Option<f64> {
+    elastic_scenario_field(doc, "one_kill", "hit_rate")
+}
+
+fn elastic_hit_rate_straggler(doc: &Json) -> Option<f64> {
+    elastic_scenario_field(doc, "straggler", "hit_rate")
+}
+
+/// Fraction of scripted cycles the killed run still completed — survival
+/// of the cycling loop, independent of the deadline ladder.
+fn elastic_kill_completion(doc: &Json) -> Option<f64> {
+    let done = elastic_scenario_field(doc, "one_kill", "completed_cycles")?;
+    let cycles = elastic_scenario_field(doc, "one_kill", "cycles")?;
+    (cycles > 0.0).then(|| done / cycles)
+}
+
+/// The elastic-suite metrics. Hit-rates are genuine ratios in `[0, 1]` and
+/// shape-independent, so the tolerances are tight: with a baseline of 1.0
+/// the 5% tolerance on the killed run is exactly the ≥ 0.95 acceptance
+/// floor of the fault-tolerance study.
+const ELASTIC_METRICS: &[Metric] = &[
+    Metric { name: "elastic.hit_rate_clean", tolerance: 0.01, extract: elastic_hit_rate_clean },
+    Metric { name: "elastic.hit_rate_kill", tolerance: 0.05, extract: elastic_hit_rate_kill },
+    Metric {
+        name: "elastic.hit_rate_straggler",
+        tolerance: 0.25,
+        extract: elastic_hit_rate_straggler,
+    },
+    Metric { name: "elastic.kill_completion", tolerance: 0.01, extract: elastic_kill_completion },
+];
+
 /// Outcome of one metric comparison.
 #[derive(Debug, PartialEq)]
 enum Verdict {
@@ -162,10 +208,16 @@ fn main() {
         failures += gate_suite("scaling_suite", SCALING_METRICS, &fresh, &base);
         compared += 1;
     }
+    if let (Some(fresh), Some(base)) =
+        (load(&args, "--fresh-elastic"), load(&args, "--baseline-elastic"))
+    {
+        failures += gate_suite("elastic_suite", ELASTIC_METRICS, &fresh, &base);
+        compared += 1;
+    }
     if compared == 0 {
         eprintln!(
-            "bench_gate: nothing to compare; pass --fresh-perf/--baseline-perf and/or \
-             --fresh-scaling/--baseline-scaling"
+            "bench_gate: nothing to compare; pass --fresh-perf/--baseline-perf, \
+             --fresh-scaling/--baseline-scaling and/or --fresh-elastic/--baseline-elastic"
         );
         std::process::exit(2);
     }
@@ -211,6 +263,24 @@ mod tests {
         Json::obj(vec![("results", Json::obj(vec![("strong", Json::Arr(rows))]))])
     }
 
+    fn elastic_doc(rows: &[(&str, f64, f64, f64)]) -> Json {
+        let scenarios: Vec<Json> = rows
+            .iter()
+            .map(|&(name, hit, done, cycles)| {
+                Json::obj(vec![
+                    ("name", Json::from(name)),
+                    ("hit_rate", Json::Num(hit)),
+                    ("completed_cycles", Json::Num(done)),
+                    ("cycles", Json::Num(cycles)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![(
+            "results",
+            Json::obj(vec![("scenarios", Json::Arr(scenarios))]),
+        )])
+    }
+
     #[test]
     fn extractors_pull_the_right_numbers() {
         let doc = perf_doc(&[3.2, 2.1, 3.6], 1.4, 13.0, 31.0);
@@ -222,6 +292,33 @@ mod tests {
         assert_eq!(strong_speedup_2(&sc), Some(1.9));
         assert_eq!(strong_speedup_4(&sc), Some(3.4));
         assert_eq!(strong_speedup_at(&sc, 16), None, "absent rank row is a skip");
+    }
+
+    #[test]
+    fn elastic_extractors_pull_scenario_rows() {
+        let doc = elastic_doc(&[
+            ("clean", 1.0, 10.0, 10.0),
+            ("one_kill", 0.97, 10.0, 10.0),
+            ("straggler", 0.9, 10.0, 10.0),
+        ]);
+        assert_eq!(elastic_hit_rate_clean(&doc), Some(1.0));
+        assert_eq!(elastic_hit_rate_kill(&doc), Some(0.97));
+        assert_eq!(elastic_hit_rate_straggler(&doc), Some(0.9));
+        assert_eq!(elastic_kill_completion(&doc), Some(1.0));
+        // Absent scenario rows are skips, not failures.
+        let partial = elastic_doc(&[("clean", 1.0, 10.0, 10.0)]);
+        assert_eq!(elastic_hit_rate_kill(&partial), None);
+        assert_eq!(elastic_kill_completion(&partial), None);
+    }
+
+    #[test]
+    fn kill_hit_rate_gate_encodes_the_acceptance_floor() {
+        let m = ELASTIC_METRICS.iter().find(|m| m.name == "elastic.hit_rate_kill").unwrap();
+        let base = elastic_doc(&[("one_kill", 1.0, 10.0, 10.0)]);
+        let passing = elastic_doc(&[("one_kill", 0.95, 10.0, 10.0)]);
+        assert!(matches!(judge(m, &passing, &base), Verdict::Ok { .. }));
+        let failing = elastic_doc(&[("one_kill", 0.90, 10.0, 10.0)]);
+        assert!(matches!(judge(m, &failing, &base), Verdict::Regressed { .. }));
     }
 
     #[test]

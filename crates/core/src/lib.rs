@@ -47,6 +47,8 @@ pub use forecast::SqgForecast;
 pub use lorenz96::{Lorenz96, Lorenz96Params};
 pub use model_error::{ModelError, ModelErrorConfig};
 pub use surrogate::VitSurrogate;
+pub use osse::ObsOperatorKind;
 pub use traits::{
-    AnalysisScheme, EnsfScheme, ForecastModel, LetkfScheme, NoAssimilation, SparseEnsfScheme,
+    AnalysisScheme, ArctanEnsfScheme, EnsfScheme, ForecastModel, LetkfScheme, NoAssimilation,
+    SparseEnsfScheme,
 };

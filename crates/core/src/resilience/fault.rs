@@ -64,6 +64,31 @@ pub struct AnalysisFault {
     pub failures: usize,
 }
 
+/// A scripted rank death in the distributed runtime: the victim registers
+/// itself dead at its scripted point inside `cycle`'s analysis, after
+/// contributing to `after_steps` SDE-step exchanges (0 = before the first
+/// one), so survivors observe the failure mid-collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankKill {
+    /// Zero-based cycle during whose analysis the rank dies.
+    pub cycle: usize,
+    /// World rank of the victim.
+    pub rank: usize,
+    /// SDE-step exchanges the victim completes before dying.
+    pub after_steps: usize,
+}
+
+/// A scripted rank rejoin: at the start of `cycle` the coordinator grants
+/// world rank `rank` re-admission, and the rejoiner restores its state
+/// from the latest checkpoint before re-entering the group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankRejoin {
+    /// Zero-based cycle at whose start the rank rejoins.
+    pub cycle: usize,
+    /// World rank of the rejoiner.
+    pub rank: usize,
+}
+
 /// The full fault script for one supervised run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
@@ -77,6 +102,11 @@ pub struct FaultPlan {
     /// Simulated process kill: the run stops (checkpointing if configured)
     /// after completing this many cycles. `None` runs to completion.
     pub kill_after: Option<usize>,
+    /// Scripted rank deaths (distributed runtime only).
+    pub rank_kills: Vec<RankKill>,
+    /// Scripted rank rejoins (distributed runtime only; each rank rejoins
+    /// at most once per plan).
+    pub rank_rejoins: Vec<RankRejoin>,
 }
 
 impl FaultPlan {
@@ -92,6 +122,51 @@ impl FaultPlan {
             && self.obs_faults.is_empty()
             && self.analysis_faults.is_empty()
             && self.kill_after.is_none()
+            && self.rank_kills.is_empty()
+            && self.rank_rejoins.is_empty()
+    }
+
+    /// The scripted death of `rank` during `cycle`'s analysis, if any.
+    pub fn rank_kill_at(&self, cycle: usize, rank: usize) -> Option<RankKill> {
+        self.rank_kills.iter().copied().find(|k| k.cycle == cycle && k.rank == rank)
+    }
+
+    /// The scripted rejoin of `rank`, if any.
+    pub fn rank_rejoin_of(&self, rank: usize) -> Option<RankRejoin> {
+        self.rank_rejoins.iter().copied().find(|r| r.rank == rank)
+    }
+
+    /// World ranks alive at the *start* of `cycle` under this script,
+    /// assuming an initial world of `world` ranks: a kill removes its rank
+    /// from every later cycle, a rejoin restores it. This is the pure
+    /// function every rank evaluates locally to agree on membership
+    /// without a consensus protocol.
+    pub fn membership_at(&self, cycle: usize, world: usize) -> Vec<usize> {
+        (0..world)
+            .filter(|&r| {
+                // Latest scripted event effective at or before `cycle`
+                // decides: a kill at cycle c takes effect at c + 1 (the
+                // victim dies *during* c's analysis), a rejoin at cycle j
+                // takes effect at j's start.
+                let last_kill = self
+                    .rank_kills
+                    .iter()
+                    .filter(|k| k.rank == r && k.cycle < cycle)
+                    .map(|k| k.cycle + 1)
+                    .max();
+                let last_rejoin = self
+                    .rank_rejoins
+                    .iter()
+                    .filter(|j| j.rank == r && j.cycle <= cycle)
+                    .map(|j| j.cycle)
+                    .max();
+                match (last_kill, last_rejoin) {
+                    (None, _) => true,
+                    (Some(_), None) => false,
+                    (Some(k), Some(j)) => j >= k,
+                }
+            })
+            .collect()
     }
 
     /// Applies this cycle's member faults to a freshly forecast ensemble,
@@ -153,6 +228,8 @@ mod tests {
             obs_faults: vec![(3, ObsFault::Drop), (5, ObsFault::Delay { by: 2 })],
             analysis_faults: vec![AnalysisFault { cycle: 4, failures: 1 }],
             kill_after: None,
+            rank_kills: Vec::new(),
+            rank_rejoins: Vec::new(),
         }
     }
 
@@ -197,5 +274,36 @@ mod tests {
         assert!(FaultPlan::none().is_empty());
         assert!(!plan().is_empty());
         assert!(!FaultPlan { kill_after: Some(3), ..FaultPlan::none() }.is_empty());
+        assert!(!FaultPlan {
+            rank_kills: vec![RankKill { cycle: 1, rank: 0, after_steps: 0 }],
+            ..FaultPlan::none()
+        }
+        .is_empty());
+    }
+
+    #[test]
+    fn membership_tracks_kills_and_rejoins() {
+        let p = FaultPlan {
+            rank_kills: vec![
+                RankKill { cycle: 2, rank: 1, after_steps: 0 },
+                RankKill { cycle: 6, rank: 1, after_steps: 1 },
+            ],
+            rank_rejoins: vec![RankRejoin { cycle: 5, rank: 1 }],
+            ..FaultPlan::none()
+        };
+        // Present through its kill cycle (it dies *during* cycle 2).
+        assert_eq!(p.membership_at(0, 4), vec![0, 1, 2, 3]);
+        assert_eq!(p.membership_at(2, 4), vec![0, 1, 2, 3]);
+        // Absent afterwards, back at its rejoin cycle.
+        assert_eq!(p.membership_at(3, 4), vec![0, 2, 3]);
+        assert_eq!(p.membership_at(4, 4), vec![0, 2, 3]);
+        assert_eq!(p.membership_at(5, 4), vec![0, 1, 2, 3]);
+        // Killed again at cycle 6: gone from cycle 7 on.
+        assert_eq!(p.membership_at(6, 4), vec![0, 1, 2, 3]);
+        assert_eq!(p.membership_at(7, 4), vec![0, 2, 3]);
+        assert_eq!(p.rank_kill_at(2, 1), Some(RankKill { cycle: 2, rank: 1, after_steps: 0 }));
+        assert_eq!(p.rank_kill_at(2, 0), None);
+        assert_eq!(p.rank_rejoin_of(1), Some(RankRejoin { cycle: 5, rank: 1 }));
+        assert_eq!(p.rank_rejoin_of(2), None);
     }
 }

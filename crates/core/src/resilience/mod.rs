@@ -26,7 +26,9 @@ pub mod health;
 pub mod supervisor;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
-pub use fault::{AnalysisFault, FaultPlan, MemberFault, MemberFaultKind, ObsFault};
+pub use fault::{
+    AnalysisFault, FaultPlan, MemberFault, MemberFaultKind, ObsFault, RankKill, RankRejoin,
+};
 pub use health::HealthPolicy;
 pub use supervisor::{
     resume_supervised, run_supervised, CheckpointConfig, LoopState, RecoveryCounters,

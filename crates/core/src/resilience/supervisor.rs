@@ -420,7 +420,9 @@ fn cycle_loop(
         // overconfident about it — obs-space spread–skill below the policy
         // threshold — then the ensemble is loosened by inflation.
         if let Some(y) = &obs {
-            let mean_a = ensemble.mean();
+            // Compare in observation space: map the analysis mean through the
+            // configured operator (identity is an elementwise no-op).
+            let mean_a = config.obs_operator.apply(&ensemble.mean());
             let innovation = stats::metrics::rmse(&mean_a, y);
             let ratio = stats::diagnostics::spread_skill(ensemble.spread(), innovation);
             if innovation > policy.divergence_factor * nature.climatology_sd

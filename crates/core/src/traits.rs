@@ -120,6 +120,49 @@ impl AnalysisScheme for EnsfScheme {
     }
 }
 
+/// EnSF adapter over the saturating `h(x) = arctan(gain · x)` observation
+/// operator — the `nonlinear_obs` stress operator promoted into a standard
+/// scheme so OSSE scenarios with [`crate::ObsOperatorKind::Arctan`]
+/// assimilate observations generated in the matching observation space.
+pub struct ArctanEnsfScheme {
+    filter: ensf::Ensf,
+    obs: ensf::ArctanObs,
+}
+
+impl ArctanEnsfScheme {
+    /// Builds the scheme for a `dim`-dimensional state observed through
+    /// `arctan(gain · x)` with error `sigma` in observation space.
+    pub fn new(config: ensf::EnsfConfig, dim: usize, obs_sigma: f64, gain: f64) -> Self {
+        ArctanEnsfScheme {
+            filter: ensf::Ensf::new(config),
+            obs: ensf::ArctanObs::with_gain(dim, obs_sigma, gain),
+        }
+    }
+}
+
+impl AnalysisScheme for ArctanEnsfScheme {
+    fn name(&self) -> &str {
+        "EnSF-arctan"
+    }
+
+    fn analyze(&mut self, forecast: &Ensemble, observation: &[f64]) -> Ensemble {
+        self.filter.analyze(forecast, observation, &self.obs)
+    }
+
+    fn rng_state(&self) -> (u64, u64) {
+        (self.filter.cycle(), self.filter.config().seed)
+    }
+
+    fn set_rng_state(&mut self, epoch: u64, seed: u64) {
+        self.filter.set_cycle(epoch);
+        self.filter.reseed(seed);
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.filter.reseed(seed);
+    }
+}
+
 /// EnSF adapter over a *sparse* network observing every `stride`-th state
 /// component. The workflow still hands the full noisy-state vector to the
 /// scheme (the OSSE measures everything); the scheme subsamples it, so only
@@ -249,6 +292,30 @@ mod tests {
         let a = s.analyze(&e, &[5.0]);
         assert_eq!(a, e);
         assert_eq!(s.name(), "none");
+    }
+
+    #[test]
+    fn arctan_scheme_pulls_toward_obs_space_target() {
+        let dim = 8;
+        let gain = 4.0;
+        let mut scheme = ArctanEnsfScheme::new(
+            ensf::EnsfConfig { n_steps: 20, seed: 7, ..Default::default() },
+            dim,
+            0.05,
+            gain,
+        );
+        assert_eq!(scheme.name(), "EnSF-arctan");
+        // Ensemble scattered around 0; truth at 0.8, observed through
+        // arctan(gain·x). The analysis mean must move toward the truth.
+        let members: Vec<Vec<f64>> =
+            (0..12).map(|m| vec![0.1 * m as f64 - 0.55; dim]).collect();
+        let fc = Ensemble::from_members(&members);
+        let truth = 0.8;
+        let y = vec![(gain * truth).atan(); dim];
+        let an = scheme.analyze(&fc, &y);
+        let before = (fc.mean()[0] - truth).abs();
+        let after = (an.mean()[0] - truth).abs();
+        assert!(after < before, "arctan EnSF must pull toward truth: {before} -> {after}");
     }
 
     #[test]

@@ -620,10 +620,11 @@ pub(crate) fn model_collective(
 /// rank's analysis block (`P x local_len` row-major).
 ///
 /// Per SDE step the ranks exchange their tile partials through
-/// [`Comm::allgather_concat`]; with a [`CommSpec`] each exchange is also
-/// priced (and possibly failed) by the fault-tolerant collective model —
-/// a retry-budget exhaustion surfaces as [`DistError::Collective`] on
-/// every rank in the same step.
+/// [`Comm::try_allgather_concat`]; with a [`CommSpec`] each exchange is
+/// also priced (and possibly failed) by the fault-tolerant collective
+/// model — a retry-budget exhaustion surfaces as [`DistError::Collective`]
+/// on every rank in the same step, and a peer dying mid-exchange as
+/// [`DistError::Mpi`] (never a hang).
 ///
 /// # Panics
 /// Panics when the plan's rank count disagrees with the communicator size
@@ -649,7 +650,7 @@ pub fn dist_analyze(
     for win in times.windows(2) {
         let partials = kernel.tile_partials(win[0]);
         model_collective(spec, stats, Collective::AllGather, comm.size(), exchanged_bytes)?;
-        let full = comm.allgather_concat(partials);
+        let full = comm.try_allgather_concat(partials)?;
         kernel.apply_step(win[0], win[1], &full);
     }
     telemetry::counter_add("dist.analyses", 1);

@@ -15,7 +15,9 @@
 use crate::analysis::{dist_analyze, model_collective, CommSpec, CommStats, DistObs};
 use crate::shard::ShardPlan;
 use crate::DistError;
-use da_core::osse::{initial_ensemble, nature_run, CycleSeries, NatureRun, OsseConfig};
+use da_core::osse::{
+    initial_ensemble, nature_run, CycleSeries, NatureRun, ObsOperatorKind, OsseConfig,
+};
 use da_core::{ForecastModel, SqgForecast};
 use ensf::EnsfConfig;
 use hpc::mpi::{run_world, Comm};
@@ -52,6 +54,16 @@ impl Default for DistCycleConfig {
             tile: DEFAULT_TILE,
             comm: None,
         }
+    }
+}
+
+/// The distributed observation model matching an OSSE configuration: the
+/// nature run synthesizes observations through `osse.obs_operator`, so the
+/// analysis must assimilate through the same operator.
+pub fn dist_obs_for(osse: &OsseConfig) -> DistObs {
+    match osse.obs_operator {
+        ObsOperatorKind::Identity => DistObs::Identity { sigma: osse.obs_sigma },
+        ObsOperatorKind::Arctan { gain } => DistObs::Arctan { sigma: osse.obs_sigma, gain },
     }
 }
 
@@ -110,7 +122,7 @@ pub fn run_dist_experiment(
     }
 
     let plan = ShardPlan::new(dim, config.tile, comm.size());
-    let obs = DistObs::Identity { sigma: config.osse.obs_sigma };
+    let obs = dist_obs_for(&config.osse);
     let spec = config.comm.as_ref();
     let mut model = SqgForecast::perfect(config.osse.params.clone());
     let mut ensemble = initial_ensemble(&config.osse, truth0);
@@ -159,7 +171,7 @@ pub fn run_dist_experiment(
 
         // Gather the analysis blocks back into the replicated ensemble.
         model_collective(spec, &mut stats, Collective::AllGather, comm.size(), (members * dim * 8) as u64)?;
-        let blocks = comm.allgather(&local);
+        let blocks = comm.try_allgather(&local)?;
         for (r, block) in blocks.iter().enumerate() {
             let (lo, hi) = plan.rank_range(r);
             let len = hi - lo;

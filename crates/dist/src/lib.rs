@@ -38,6 +38,9 @@
 //!   driver ([`dist_analyze`]).
 //! * [`cycle`] — the distributed OSSE cycling runtime
 //!   ([`run_dist_experiment`], [`run_osse`]).
+//! * [`elastic`] — the fault-surviving variant: ULFM-style shrink on rank
+//!   death, checkpoint-backed rejoin, and deadline-aware degraded analysis
+//!   ([`run_elastic_experiment`], [`run_elastic_osse`]).
 //! * [`bench`] — the sequential per-rank-timed driver behind the
 //!   `scaling_suite` bench bin.
 //! * [`timeline`] — the traced variant of the bench driver: per-rank
@@ -49,12 +52,18 @@
 pub mod analysis;
 pub mod bench;
 pub mod cycle;
+pub mod elastic;
 pub mod shard;
 pub mod timeline;
 
 pub use analysis::{dist_analyze, CommSpec, CommStats, DistObs, ShardKernel};
 pub use bench::{measure_analysis, ScalingMeasurement};
-pub use cycle::{run_dist_experiment, run_osse, DistCycleConfig, DistRunResult};
+pub use cycle::{dist_obs_for, run_dist_experiment, run_osse, DistCycleConfig, DistRunResult};
+pub use elastic::{
+    modeled_analysis_secs, run_elastic_experiment, run_elastic_from, run_elastic_osse,
+    run_elastic_osse_from, CycleMode, DeadlinePolicy, ElasticCounters, ElasticCycleConfig,
+    ElasticOutcome, ElasticRunResult,
+};
 pub use shard::ShardPlan;
 pub use timeline::{trace_timeline, CycleBreakdown, TimelineResult, TimelineSpec};
 
@@ -66,6 +75,11 @@ pub enum DistError {
     /// function of the scripted faults, so no cross-rank agreement protocol
     /// is needed to fail consistently).
     Collective(hpc::CollectiveError),
+    /// A live MPI collective failed typed — a peer died mid-operation or
+    /// revoked the epoch. The elastic runtime ([`elastic`]) catches this,
+    /// shrinks the group, and retries; it is fatal only when every rank is
+    /// gone or the error escapes a non-elastic driver.
+    Mpi(hpc::MpiError),
     /// The configuration and nature run disagree (dimension mismatch,
     /// too-short nature run, invalid filter settings).
     Config(String),
@@ -75,6 +89,7 @@ impl std::fmt::Display for DistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DistError::Collective(e) => write!(f, "distributed collective failed: {e}"),
+            DistError::Mpi(e) => write!(f, "MPI operation failed: {e}"),
             DistError::Config(msg) => write!(f, "invalid distributed experiment: {msg}"),
         }
     }
@@ -85,5 +100,11 @@ impl std::error::Error for DistError {}
 impl From<hpc::CollectiveError> for DistError {
     fn from(e: hpc::CollectiveError) -> Self {
         DistError::Collective(e)
+    }
+}
+
+impl From<hpc::MpiError> for DistError {
+    fn from(e: hpc::MpiError) -> Self {
+        DistError::Mpi(e)
     }
 }

@@ -1,0 +1,126 @@
+//! Property test for the elastic checkpoint contract: a checkpoint
+//! written by a run at `R` ranks restores **bit-identically** into a run
+//! at any other rank count `R' ∈ 1..=8`.
+//!
+//! This is the invariant the rejoin protocol leans on — a rejoiner loads a
+//! checkpoint written by whatever group survived, and the rank-count
+//! invariance of the sharded analysis (see `tests/dist_determinism.rs` at
+//! the workspace root) guarantees the resumed trajectory is the one the
+//! survivors are computing. Two claims, both checked per case:
+//!
+//! 1. the checkpoint *file bytes* are identical no matter how many ranks
+//!    wrote them, and
+//! 2. resuming from it at `R'` ranks reproduces the uninterrupted
+//!    reference trajectory bit for bit.
+
+use da_core::osse::OsseConfig;
+use da_core::resilience::{Checkpoint, CheckpointConfig};
+use dist::{run_elastic_osse, run_elastic_osse_from, DistCycleConfig, ElasticCycleConfig};
+use ensf::EnsfConfig;
+use proptest::prelude::*;
+use sqg::SqgParams;
+use std::sync::{Mutex, OnceLock};
+
+/// Cycles before the checkpoint boundary (`ck.cycle == SPLIT`).
+const SPLIT: usize = 2;
+/// Total cycles of the resumed experiment.
+const TOTAL: usize = 4;
+
+/// Reduced grid (`d = 512`, 8 tiles of 64), mirroring the elastic tests.
+fn elastic_config(cycles: usize) -> ElasticCycleConfig {
+    ElasticCycleConfig::clean(DistCycleConfig {
+        osse: OsseConfig {
+            params: SqgParams { n: 16, ..Default::default() },
+            cycles,
+            obs_sigma: 0.005,
+            ens_size: 8,
+            ic_sigma: 0.01,
+            spinup_steps: 40,
+            seed: 3,
+            ..Default::default()
+        },
+        ensf: EnsfConfig { n_steps: 10, seed: 5, ..Default::default() },
+        ..Default::default()
+    })
+}
+
+/// `(cycle, mean-bits)` pairs plus the final ensemble bits.
+type ReferenceBits = (Vec<(usize, Vec<u64>)>, Vec<u64>);
+
+/// The uninterrupted single-rank reference trajectory, computed once.
+fn reference() -> &'static ReferenceBits {
+    static REF: OnceLock<ReferenceBits> = OnceLock::new();
+    REF.get_or_init(|| {
+        let full = run_elastic_osse(&elastic_config(TOTAL), 1).unwrap();
+        let means = full
+            .cycle_means
+            .iter()
+            .map(|(c, m)| (*c, m.iter().map(|v| v.to_bits()).collect()))
+            .collect();
+        let ens = full.ensemble.as_slice().iter().map(|v| v.to_bits()).collect();
+        (means, ens)
+    })
+}
+
+/// Checkpoint file bytes from the first case, for cross-`R` comparison.
+static FIRST_BYTES: Mutex<Option<Vec<u8>>> = Mutex::new(None);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Write a cycle-2 checkpoint at `r_write` ranks, resume at `r_read`
+    /// ranks, and demand the tail matches the uninterrupted reference.
+    #[test]
+    fn checkpoint_restores_bitwise_across_rank_counts(
+        r_write in 1usize..=8,
+        r_read in 1usize..=8,
+    ) {
+        let path = std::env::temp_dir().join(format!(
+            "sqg_da_elastic_prop_{}_{r_write}_{r_read}.ckpt",
+            std::process::id()
+        ));
+        let mut prefix = elastic_config(SPLIT);
+        prefix.checkpoint = Some(CheckpointConfig { path: path.clone(), every: SPLIT });
+        run_elastic_osse(&prefix, r_write).unwrap();
+
+        let bytes = std::fs::read(&path).expect("prefix run wrote the checkpoint");
+        let ck = Checkpoint::load(&path).expect("checkpoint parses");
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(ck.cycle, SPLIT);
+
+        // Claim 1: the file is byte-identical regardless of who wrote it.
+        {
+            let mut first = FIRST_BYTES.lock().unwrap_or_else(|e| e.into_inner());
+            match first.as_ref() {
+                None => *first = Some(bytes),
+                Some(expected) => prop_assert_eq!(
+                    &bytes,
+                    expected,
+                    "checkpoint bytes depend on the writing rank count {}",
+                    r_write
+                ),
+            }
+        }
+
+        // Claim 2: the resumed tail is bitwise the reference trajectory.
+        let resumed = run_elastic_osse_from(&elastic_config(TOTAL), r_read, &ck).unwrap();
+        let (ref_means, ref_ens) = reference();
+        prop_assert_eq!(resumed.cycle_means.len(), TOTAL - SPLIT);
+        for (cycle, mean) in &resumed.cycle_means {
+            let bits: Vec<u64> = mean.iter().map(|v| v.to_bits()).collect();
+            let (_, expected) = ref_means
+                .iter()
+                .find(|(c, _)| c == cycle)
+                .expect("reference covers every resumed cycle");
+            prop_assert_eq!(
+                &bits,
+                expected,
+                "cycle {} diverged (written at {}, resumed at {})",
+                cycle, r_write, r_read
+            );
+        }
+        let ens_bits: Vec<u64> =
+            resumed.ensemble.as_slice().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(&ens_bits, ref_ens, "final ensemble diverged");
+    }
+}

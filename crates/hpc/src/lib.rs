@@ -35,13 +35,15 @@ mod strategy;
 mod topology;
 
 pub use collective::{bus_bandwidth, collective_time, Collective};
+pub use mpi::{run_world, Comm, MpiError};
 pub use resilience::{
     collective_with_retry, CollectiveError, RankFault, RetriedCollective, RetryPolicy,
+    Straggler, StragglerPlan,
 };
 pub use gemm_model::{achieved_flops, fig6_heatmap, KernelShape, GCD_PEAK_FLOPS};
 pub use simulate::{
-    ensf_step_time, is_realtime, scaling_curve, simulate_step, workflow_cycle_time, EnsfJob,
-    StepBreakdown, TrainJob, WorkflowCycle,
+    ensf_step_time, is_realtime, scaling_curve, shard_step_compute_secs, simulate_step,
+    workflow_cycle_time, EnsfJob, StepBreakdown, TrainJob, WorkflowCycle,
 };
 pub use strategy::{bytes_per_param, Strategy};
 pub use topology::Topology;

@@ -1,18 +1,108 @@
-//! An in-process simulated MPI runtime.
+//! An in-process simulated MPI runtime with ULFM-style fault surfacing.
 //!
 //! Real concurrent "ranks" (one OS thread each) exchanging typed messages
 //! over crossbeam channels, with the point-to-point and collective
 //! operations the EnSF decomposition needs: `send`/`recv` (tagged, with
 //! out-of-order buffering), `barrier`, `allreduce_sum`, `gather`,
 //! `broadcast`, `scatter` and `allgather`/`allgather_concat`. This gives
-//! the repository a faithful stand-in for the MPI
-//! parallelization of §III-A3 that runs — and is tested — on one machine.
+//! the repository a faithful stand-in for the MPI parallelization of
+//! §III-A3 that runs — and is tested — on one machine.
+//!
+//! ## Fault model
+//!
+//! The runtime mirrors the ULFM (User-Level Failure Mitigation) proposal:
+//!
+//! * A rank announces its own death with [`Comm::kill`] (flipping a flag in
+//!   a world-shared liveness registry) and stops calling communication
+//!   operations. Peers blocked on a receive from it observe a typed
+//!   [`MpiError::RankDead`] carrying the offending `(src, tag)` — never a
+//!   hang: the blocking receive is a timed poll over the inbox plus the
+//!   registry.
+//! * On any collective error a survivor calls [`Comm::revoke`], waking
+//!   every peer still parked inside the broken collective with
+//!   [`MpiError::Revoked`], then all survivors agree (deterministically,
+//!   outside this module) on a shrunken group and call [`Comm::recover`].
+//! * [`Comm::recover`] installs a new *group view* and bumps the *epoch*.
+//!   Collective message tags encode the epoch, so stragglers from an
+//!   abandoned collective attempt can never be mistaken for contributions
+//!   to its retry: older-epoch messages are dropped on receipt,
+//!   future-epoch messages are buffered until the local view catches up.
+//! * A previously dead rank rejoins through an out-of-band *grant*
+//!   ([`Comm::revive`] + [`Comm::send_grant`] on the coordinator,
+//!   [`Comm::recv_grant`] on the rejoiner) followed by a matching
+//!   [`Comm::recover`] on every member of the expanded group.
+//!
+//! Group views renumber ranks: after a shrink [`Comm::rank`] /
+//! [`Comm::size`] describe the surviving group in ascending world-rank
+//! order, so collective code written against them works unchanged across
+//! membership changes, while [`Comm::world_rank`] stays fixed for
+//! addressing point-to-point messages.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::cell::RefCell;
-use std::sync::{Arc, Barrier};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// A tagged message between ranks.
+/// Top bit marks runtime-internal tags; user tags must keep it clear.
+const TAG_SPECIAL: u64 = 1 << 63;
+/// Epoch-stamped revocation notice (data = `[epoch]`).
+const REVOKE_TAG: u64 = u64::MAX;
+/// Out-of-band rejoin grant, valid across epochs.
+const GRANT_TAG: u64 = u64::MAX - 1;
+
+/// Collective operation codes folded into epoch-stamped tags.
+const OP_REDUCE: u64 = 1;
+const OP_RBCAST: u64 = 2;
+const OP_GATHER: u64 = 3;
+const OP_BCAST: u64 = 4;
+const OP_SCATTER: u64 = 5;
+const OP_BARRIER: u64 = 6;
+
+/// How often a parked receive re-checks the liveness registry.
+const POLL: Duration = Duration::from_micros(200);
+
+/// Why a receive (and therefore a collective) could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpiError {
+    /// The source rank is registered dead and no matching message is
+    /// buffered or in flight.
+    RankDead {
+        /// World rank of the dead peer.
+        src: usize,
+        /// Tag the receive was waiting on.
+        tag: u64,
+    },
+    /// The receive deadline ([`Comm::set_recv_deadline`]) elapsed with the
+    /// peer still alive but silent.
+    Timeout {
+        /// World rank of the silent peer.
+        src: usize,
+        /// Tag the receive was waiting on.
+        tag: u64,
+    },
+    /// A peer revoked the current communication epoch (some collective
+    /// broke elsewhere); abandon the operation and shrink.
+    Revoked,
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::RankDead { src, tag } => {
+                write!(f, "rank {src} is dead (receive tag {tag:#x})")
+            }
+            MpiError::Timeout { src, tag } => {
+                write!(f, "receive from rank {src} timed out (tag {tag:#x})")
+            }
+            MpiError::Revoked => write!(f, "communication epoch revoked by a peer"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// A tagged message between ranks (`src` is a world rank).
 #[derive(Debug, Clone)]
 struct Message {
     src: usize,
@@ -22,160 +112,476 @@ struct Message {
 
 /// Per-rank communicator handle.
 pub struct Comm {
-    rank: usize,
-    size: usize,
+    world_rank: usize,
+    world_size: usize,
     senders: Vec<Sender<Message>>,
     inbox: Receiver<Message>,
-    barrier: Arc<Barrier>,
+    /// World-shared liveness registry, one flag per world rank.
+    alive: Arc<Vec<AtomicBool>>,
+    /// Current group view: ascending world ranks. `rank()` is this rank's
+    /// position in it.
+    group: RefCell<Vec<usize>>,
+    /// Membership-change counter stamped into collective tags.
+    epoch: Cell<u64>,
+    /// Set when a peer revoked the current epoch.
+    revoked: Cell<bool>,
+    /// Optional per-receive deadline (safety net against silent peers).
+    deadline: Cell<Option<Duration>>,
     pending: RefCell<Vec<Message>>,
 }
 
 impl Comm {
-    /// This rank's id.
-    pub fn rank(&self) -> usize {
-        self.rank
-    }
-
-    /// World size.
-    pub fn size(&self) -> usize {
-        self.size
-    }
-
-    /// Sends `data` to `dst` with `tag`.
+    /// This rank's position in the current group view (renumbered after a
+    /// shrink or rejoin; equals [`Comm::world_rank`] in a full world).
     ///
     /// # Panics
-    /// Panics if `dst` is out of range (matching MPI's erroneous-rank abort).
-    pub fn send(&self, dst: usize, tag: u64, data: &[f64]) {
-        assert!(dst < self.size, "send to invalid rank {dst}");
-        self.senders[dst]
-            .send(Message { src: self.rank, tag, data: data.to_vec() })
-            .expect("receiver hung up");
+    /// Panics if this rank is not a member of its own group view (a
+    /// [`Comm::recover`] misuse).
+    pub fn rank(&self) -> usize {
+        self.group
+            .borrow()
+            .iter()
+            .position(|&w| w == self.world_rank)
+            .expect("rank not in its own group view")
     }
 
-    /// Blocking receive of the next message from `src` with `tag`.
+    /// Current group size (shrinks and re-expands with membership).
+    pub fn size(&self) -> usize {
+        self.group.borrow().len()
+    }
+
+    /// This rank's immutable world id.
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// The immutable world size the runtime was launched with.
+    pub fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    /// Current group view (ascending world ranks).
+    pub fn group(&self) -> Vec<usize> {
+        self.group.borrow().clone()
+    }
+
+    /// Current communication epoch (bumped by every [`Comm::recover`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    /// Whether `world_rank` is registered alive.
+    ///
+    /// # Panics
+    /// Panics if `world_rank` is out of range.
+    pub fn is_alive(&self, world_rank: usize) -> bool {
+        self.alive[world_rank].load(Ordering::Acquire)
+    }
+
+    /// Registers this rank dead. Call at the scripted failure point, then
+    /// stop communicating (other than [`Comm::recv_grant`]); peers observe
+    /// [`MpiError::RankDead`] instead of hanging.
+    pub fn kill(&self) {
+        self.alive[self.world_rank].store(false, Ordering::Release);
+    }
+
+    /// Re-registers `world_rank` alive ahead of a rejoin grant, so that
+    /// survivors entering the expanded group never spuriously observe the
+    /// rejoiner as dead while it is still restoring its state.
+    ///
+    /// # Panics
+    /// Panics if `world_rank` is out of range.
+    pub fn revive(&self, world_rank: usize) {
+        self.alive[world_rank].store(true, Ordering::Release);
+    }
+
+    /// Sets (or clears) the per-receive deadline. With a deadline set, a
+    /// receive from a live-but-silent peer fails with [`MpiError::Timeout`]
+    /// instead of blocking forever — the watchdog of last resort.
+    pub fn set_recv_deadline(&self, deadline: Option<Duration>) {
+        self.deadline.set(deadline);
+    }
+
+    /// Epoch-stamped tag for collective operation `op`.
+    fn ctag(&self, op: u64) -> u64 {
+        TAG_SPECIAL | ((self.epoch.get() & 0xFFFF) << 8) | op
+    }
+
+    /// Epoch carried by a stamped collective tag.
+    fn tag_epoch(tag: u64) -> u64 {
+        (tag >> 8) & 0xFFFF
+    }
+
+    /// Whether `tag` is an epoch-stamped collective tag (special, but not
+    /// one of the fixed out-of-band tags).
+    fn is_collective_tag(tag: u64) -> bool {
+        tag & TAG_SPECIAL != 0 && tag != REVOKE_TAG && tag != GRANT_TAG
+    }
+
+    /// Raw send that tolerates disconnected dead peers.
+    fn send_raw(&self, dst: usize, tag: u64, data: &[f64]) {
+        assert!(dst < self.world_size, "send to invalid rank {dst}");
+        let msg = Message { src: self.world_rank, tag, data: data.to_vec() };
+        if self.senders[dst].send(msg).is_err() {
+            // A receiver only disappears when its thread exited; that is
+            // fine for a registered-dead rank and a bug otherwise.
+            assert!(
+                !self.is_alive(dst),
+                "send to rank {dst}, which exited without kill()"
+            );
+        }
+    }
+
+    /// Sends `data` to world rank `dst` with `tag`.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range (matching MPI's erroneous-rank
+    /// abort) or if `tag` has the runtime-reserved top bit set.
+    pub fn send(&self, dst: usize, tag: u64, data: &[f64]) {
+        assert!(tag & TAG_SPECIAL == 0, "tag {tag:#x} is runtime-reserved");
+        self.send_raw(dst, tag, data);
+    }
+
+    /// Routes one inbound message while waiting for `(src, tag)`: returns
+    /// the payload on a match, buffers unrelated user messages, drops
+    /// stale-epoch collective traffic, buffers future-epoch collective
+    /// traffic, and surfaces revocations.
+    fn route(&self, msg: Message, src: usize, tag: u64) -> Result<Option<Vec<f64>>, MpiError> {
+        if msg.tag == REVOKE_TAG {
+            let revoked_epoch = msg.data.first().copied().unwrap_or(0.0) as u64;
+            if revoked_epoch >= self.epoch.get() {
+                self.revoked.set(true);
+                return Err(MpiError::Revoked);
+            }
+            return Ok(None); // stale revoke from an already-resolved epoch
+        }
+        if Self::is_collective_tag(msg.tag) && Self::tag_epoch(msg.tag) < self.epoch.get() & 0xFFFF
+        {
+            return Ok(None); // straggler from an abandoned collective
+        }
+        if msg.src == src && msg.tag == tag {
+            return Ok(Some(msg.data));
+        }
+        self.pending.borrow_mut().push(msg);
+        Ok(None)
+    }
+
+    /// Fallible blocking receive from world rank `src` with `tag`.
+    ///
     /// Messages from other sources/tags arriving first are buffered, and
     /// same-`(src, tag)` messages are delivered in send order (MPI's
-    /// non-overtaking guarantee).
+    /// non-overtaking guarantee). Instead of hanging, fails typed:
+    /// [`MpiError::RankDead`] when `src` is registered dead with no
+    /// matching message buffered or in flight, [`MpiError::Revoked`] when a
+    /// peer revoked the epoch, [`MpiError::Timeout`] when the optional
+    /// receive deadline elapses.
     ///
     /// # Panics
-    /// Panics if every other rank has exited without sending a matching
-    /// message (the simulated analogue of an MPI abort on deadlock).
-    pub fn recv(&self, src: usize, tag: u64) -> Vec<f64> {
-        // Check the out-of-order buffer first. `remove` (not `swap_remove`)
-        // keeps the buffer in arrival order: with several same-(src, tag)
-        // messages buffered, swap_remove would move the *newest* message
-        // into the scan position and deliver it second — reordering a FIFO
-        // stream (caught by the proptest interleaving model).
-        {
-            let mut pending = self.pending.borrow_mut();
-            if let Some(pos) =
-                pending.iter().position(|m| m.src == src && m.tag == tag)
-            {
-                return pending.remove(pos).data;
-            }
-        }
+    /// Panics if `src` is out of range.
+    pub fn recv_checked(&self, src: usize, tag: u64) -> Result<Vec<f64>, MpiError> {
+        assert!(src < self.world_size, "recv from invalid rank {src}");
+        let deadline = self.deadline.get().map(|d| Instant::now() + d);
         loop {
-            let msg = self.inbox.recv().expect("all senders dropped");
-            if msg.src == src && msg.tag == tag {
-                return msg.data;
+            if self.revoked.get() {
+                return Err(MpiError::Revoked);
             }
-            self.pending.borrow_mut().push(msg);
+            // Check the out-of-order buffer first. `remove` (not
+            // `swap_remove`) keeps the buffer in arrival order: with
+            // several same-(src, tag) messages buffered, swap_remove would
+            // deliver the newest second — reordering a FIFO stream (caught
+            // by the proptest interleaving model).
+            {
+                let mut pending = self.pending.borrow_mut();
+                if let Some(pos) = pending.iter().position(|m| m.src == src && m.tag == tag) {
+                    return Ok(pending.remove(pos).data);
+                }
+            }
+            if !self.is_alive(src) {
+                // The sender may have died *after* sending the matching
+                // message: drain the inbox before giving up on it.
+                while let Ok(msg) = self.inbox.try_recv() {
+                    if let Some(data) = self.route(msg, src, tag)? {
+                        return Ok(data);
+                    }
+                }
+                let mut pending = self.pending.borrow_mut();
+                if let Some(pos) = pending.iter().position(|m| m.src == src && m.tag == tag) {
+                    return Ok(pending.remove(pos).data);
+                }
+                return Err(MpiError::RankDead { src, tag });
+            }
+            match self.inbox.recv_timeout(POLL) {
+                Ok(msg) => {
+                    if let Some(data) = self.route(msg, src, tag)? {
+                        return Ok(data);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(dl) = deadline {
+                        if Instant::now() >= dl {
+                            return Err(MpiError::Timeout { src, tag });
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(MpiError::RankDead { src, tag });
+                }
+            }
         }
     }
 
-    /// Synchronizes all ranks.
+    /// Blocking receive of the next message from world rank `src` with
+    /// `tag` (infallible wrapper over [`Comm::recv_checked`]).
+    ///
+    /// # Panics
+    /// Panics when the underlying receive fails typed — the simulated
+    /// analogue of an MPI abort for code that opted out of fault handling.
+    pub fn recv(&self, src: usize, tag: u64) -> Vec<f64> {
+        self.recv_checked(src, tag)
+            .unwrap_or_else(|e| panic!("recv(src={src}, tag={tag:#x}) failed: {e}"))
+    }
+
+    /// Notifies every live peer in the current group that the current
+    /// epoch is broken, waking them out of parked receives with
+    /// [`MpiError::Revoked`]. Idempotent per epoch; stale revokes are
+    /// discarded by their receivers. The caller should follow up with
+    /// [`Comm::recover`].
+    pub fn revoke(&self) {
+        let epoch = self.epoch.get() as f64;
+        for &w in self.group.borrow().iter() {
+            if w != self.world_rank && self.is_alive(w) {
+                self.send_raw(w, REVOKE_TAG, &[epoch]);
+            }
+        }
+        self.revoked.set(true);
+    }
+
+    /// Installs a new group view and epoch after a membership change
+    /// (shrink or rejoin). Every member of `group` must call this with the
+    /// same arguments; `epoch` is the count of membership changes so far,
+    /// agreed deterministically by the caller. Clears the revoked flag and
+    /// purges buffered traffic from abandoned epochs.
+    ///
+    /// # Panics
+    /// Panics if `group` is empty, not strictly ascending, or does not
+    /// contain this rank.
+    pub fn recover(&self, group: &[usize], epoch: u64) {
+        assert!(!group.is_empty(), "recover needs a non-empty group");
+        assert!(
+            group.windows(2).all(|w| w[0] < w[1]),
+            "recover group must be strictly ascending"
+        );
+        assert!(
+            group.contains(&self.world_rank),
+            "rank {} missing from recover group {group:?}",
+            self.world_rank
+        );
+        assert!(
+            group.iter().all(|&w| w < self.world_size),
+            "recover group contains out-of-world ranks"
+        );
+        self.epoch.set(epoch);
+        self.revoked.set(false);
+        *self.group.borrow_mut() = group.to_vec();
+        let cur = epoch & 0xFFFF;
+        self.pending.borrow_mut().retain(|m| {
+            m.tag != REVOKE_TAG
+                && !(Self::is_collective_tag(m.tag) && Self::tag_epoch(m.tag) < cur)
+        });
+    }
+
+    /// Sends an out-of-band rejoin grant to world rank `dst` (call
+    /// [`Comm::revive`] first so the rejoiner is registered alive).
+    pub fn send_grant(&self, dst: usize, data: &[f64]) {
+        self.send_raw(dst, GRANT_TAG, data);
+    }
+
+    /// Blocks until a rejoin grant arrives from world rank `src`. Unlike
+    /// [`Comm::recv_checked`] this survives revocations (a dead rank does
+    /// not participate in epochs), clearing the flag and waiting on.
+    ///
+    /// # Panics
+    /// Panics if `src` is out of range.
+    pub fn recv_grant(&self, src: usize) -> Result<Vec<f64>, MpiError> {
+        loop {
+            match self.recv_checked(src, GRANT_TAG) {
+                Err(MpiError::Revoked) => self.revoked.set(false),
+                other => return other,
+            }
+        }
+    }
+
+    /// Synchronizes the current group (fallible).
+    pub fn try_barrier(&self) -> Result<(), MpiError> {
+        let group = self.group();
+        if group.len() == 1 {
+            return Ok(());
+        }
+        let tag = self.ctag(OP_BARRIER);
+        let root = group[0];
+        if self.world_rank == root {
+            for &w in &group[1..] {
+                self.recv_checked(w, tag)?;
+            }
+            for &w in &group[1..] {
+                self.send_raw(w, tag, &[]);
+            }
+        } else {
+            self.send_raw(root, tag, &[]);
+            self.recv_checked(root, tag)?;
+        }
+        Ok(())
+    }
+
+    /// Synchronizes the current group.
+    ///
+    /// # Panics
+    /// Panics when the barrier fails typed (dead peer / revoked epoch).
     pub fn barrier(&self) {
-        self.barrier.wait();
+        self.try_barrier().unwrap_or_else(|e| panic!("barrier failed: {e}"));
     }
 
-    /// Elementwise sum-reduction of `buf` across all ranks; every rank ends
-    /// with the global sum (gather-to-root + broadcast).
-    pub fn allreduce_sum(&self, buf: &mut [f64]) {
-        const TAG_GATHER: u64 = u64::MAX - 1;
-        const TAG_BCAST: u64 = u64::MAX - 2;
-        if self.size == 1 {
-            return;
+    /// Elementwise sum-reduction of `buf` across the current group
+    /// (fallible); every rank ends with the group sum (gather-to-root +
+    /// broadcast).
+    ///
+    /// # Panics
+    /// Panics if peers contribute mismatched lengths.
+    pub fn try_allreduce_sum(&self, buf: &mut [f64]) -> Result<(), MpiError> {
+        let group = self.group();
+        if group.len() == 1 {
+            return Ok(());
         }
-        if self.rank == 0 {
-            for src in 1..self.size {
-                let part = self.recv(src, TAG_GATHER);
+        let t_red = self.ctag(OP_REDUCE);
+        let t_bc = self.ctag(OP_RBCAST);
+        let root = group[0];
+        if self.world_rank == root {
+            for &w in &group[1..] {
+                let part = self.recv_checked(w, t_red)?;
                 assert_eq!(part.len(), buf.len(), "allreduce length mismatch");
                 for (a, b) in buf.iter_mut().zip(&part) {
                     *a += b;
                 }
             }
-            for dst in 1..self.size {
-                self.send(dst, TAG_BCAST, buf);
+            for &w in &group[1..] {
+                self.send_raw(w, t_bc, buf);
             }
         } else {
-            self.send(0, TAG_GATHER, buf);
-            let total = self.recv(0, TAG_BCAST);
+            self.send_raw(root, t_red, buf);
+            let total = self.recv_checked(root, t_bc)?;
             buf.copy_from_slice(&total);
         }
+        Ok(())
     }
 
-    /// Gathers every rank's `data` to rank 0; returns `Some(parts)` on rank
-    /// 0 (indexed by rank) and `None` elsewhere.
-    pub fn gather(&self, data: &[f64]) -> Option<Vec<Vec<f64>>> {
-        const TAG: u64 = u64::MAX - 3;
-        if self.rank == 0 {
-            let mut parts = vec![Vec::new(); self.size];
-            parts[0] = data.to_vec();
-            for src in 1..self.size {
-                parts[src] = self.recv(src, TAG);
-            }
-            Some(parts)
-        } else {
-            self.send(0, TAG, data);
-            None
-        }
-    }
-
-    /// Broadcasts rank 0's `data` to all ranks (in place).
-    pub fn broadcast(&self, data: &mut Vec<f64>) {
-        const TAG: u64 = u64::MAX - 4;
-        if self.rank == 0 {
-            for dst in 1..self.size {
-                self.send(dst, TAG, data);
-            }
-        } else {
-            *data = self.recv(0, TAG);
-        }
-    }
-
-    /// Scatters rank 0's per-rank `parts` (indexed by rank) to every rank;
-    /// each rank returns its own part. Non-root ranks pass `None`.
+    /// Elementwise sum-reduction of `buf` across the current group; every
+    /// rank ends with the group sum.
     ///
     /// # Panics
-    /// Panics if rank 0 passes `None` or a parts list whose length differs
-    /// from the world size (matching MPI's erroneous-argument abort).
-    pub fn scatter(&self, parts: Option<&[Vec<f64>]>) -> Vec<f64> {
-        const TAG: u64 = u64::MAX - 5;
-        if self.rank == 0 {
-            let parts = parts.expect("scatter root needs the parts list");
-            assert_eq!(parts.len(), self.size, "scatter needs one part per rank");
-            for (dst, part) in parts.iter().enumerate().skip(1) {
-                self.send(dst, TAG, part);
+    /// Panics when the collective fails typed (dead peer / revoked epoch).
+    pub fn allreduce_sum(&self, buf: &mut [f64]) {
+        self.try_allreduce_sum(buf).unwrap_or_else(|e| panic!("allreduce failed: {e}"));
+    }
+
+    /// Gathers every group member's `data` to the group root (fallible);
+    /// returns `Some(parts)` indexed by group position on the root and
+    /// `None` elsewhere.
+    pub fn try_gather(&self, data: &[f64]) -> Result<Option<Vec<Vec<f64>>>, MpiError> {
+        let group = self.group();
+        let tag = self.ctag(OP_GATHER);
+        let root = group[0];
+        if self.world_rank == root {
+            let mut parts = vec![Vec::new(); group.len()];
+            parts[0] = data.to_vec();
+            for (i, &w) in group.iter().enumerate().skip(1) {
+                parts[i] = self.recv_checked(w, tag)?;
             }
-            parts[0].clone()
+            Ok(Some(parts))
         } else {
-            self.recv(0, TAG)
+            self.send_raw(root, tag, data);
+            Ok(None)
         }
     }
 
-    /// Gathers every rank's `data` to all ranks: returns the per-rank parts
-    /// in rank order on every rank (gather-to-root + broadcast). Parts may
-    /// have different lengths.
-    pub fn allgather(&self, data: &[f64]) -> Vec<Vec<f64>> {
-        if self.size == 1 {
-            return vec![data.to_vec()];
+    /// Gathers every group member's `data` to the group root; returns
+    /// `Some(parts)` (indexed by group position) on the root and `None`
+    /// elsewhere.
+    ///
+    /// # Panics
+    /// Panics when the collective fails typed (dead peer / revoked epoch).
+    pub fn gather(&self, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        self.try_gather(data).unwrap_or_else(|e| panic!("gather failed: {e}"))
+    }
+
+    /// Broadcasts the group root's `data` to the whole group, in place
+    /// (fallible).
+    pub fn try_broadcast(&self, data: &mut Vec<f64>) -> Result<(), MpiError> {
+        let group = self.group();
+        let tag = self.ctag(OP_BCAST);
+        let root = group[0];
+        if self.world_rank == root {
+            for &w in &group[1..] {
+                self.send_raw(w, tag, data);
+            }
+        } else {
+            *data = self.recv_checked(root, tag)?;
         }
-        let gathered = self.gather(data);
+        Ok(())
+    }
+
+    /// Broadcasts the group root's `data` to the whole group (in place).
+    ///
+    /// # Panics
+    /// Panics when the collective fails typed (dead peer / revoked epoch).
+    pub fn broadcast(&self, data: &mut Vec<f64>) {
+        self.try_broadcast(data).unwrap_or_else(|e| panic!("broadcast failed: {e}"));
+    }
+
+    /// Scatters the group root's per-member `parts` (indexed by group
+    /// position) across the group (fallible); each rank returns its own
+    /// part. Non-root ranks pass `None`.
+    ///
+    /// # Panics
+    /// Panics if the root passes `None` or a parts list whose length
+    /// differs from the group size (matching MPI's erroneous-argument
+    /// abort).
+    pub fn try_scatter(&self, parts: Option<&[Vec<f64>]>) -> Result<Vec<f64>, MpiError> {
+        let group = self.group();
+        let tag = self.ctag(OP_SCATTER);
+        let root = group[0];
+        if self.world_rank == root {
+            let parts = parts.expect("scatter root needs the parts list");
+            assert_eq!(parts.len(), group.len(), "scatter needs one part per rank");
+            for (i, &w) in group.iter().enumerate().skip(1) {
+                self.send_raw(w, tag, &parts[i]);
+            }
+            Ok(parts[0].clone())
+        } else {
+            self.recv_checked(root, tag)
+        }
+    }
+
+    /// Scatters the group root's per-member `parts` across the group; each
+    /// rank returns its own part. Non-root ranks pass `None`.
+    ///
+    /// # Panics
+    /// Panics on root-argument misuse or when the collective fails typed.
+    pub fn scatter(&self, parts: Option<&[Vec<f64>]>) -> Vec<f64> {
+        self.try_scatter(parts).unwrap_or_else(|e| panic!("scatter failed: {e}"))
+    }
+
+    /// Gathers every group member's `data` to all members (fallible):
+    /// returns the per-member parts in group order on every rank
+    /// (gather-to-root + broadcast). Parts may have different lengths.
+    pub fn try_allgather(&self, data: &[f64]) -> Result<Vec<Vec<f64>>, MpiError> {
+        let size = self.size();
+        if size == 1 {
+            return Ok(vec![data.to_vec()]);
+        }
+        let gathered = self.try_gather(data)?;
         // Frame as [len_0, …, len_{size-1}, part_0 …, part_{size-1} …] so a
         // single broadcast carries both the lengths and the payload.
-        let mut frame = if self.rank == 0 {
-            // INVARIANT: gather returns Some on rank 0.
-            let parts = gathered.expect("gather returns parts on root");
+        let mut frame = if let Some(parts) = gathered {
             let mut frame: Vec<f64> = parts.iter().map(|p| p.len() as f64).collect();
             for p in &parts {
                 frame.extend_from_slice(p);
@@ -184,31 +590,48 @@ impl Comm {
         } else {
             Vec::new()
         };
-        self.broadcast(&mut frame);
-        let lens: Vec<usize> = frame[..self.size].iter().map(|&l| l as usize).collect();
-        let mut out = Vec::with_capacity(self.size);
-        let mut offset = self.size;
+        self.try_broadcast(&mut frame)?;
+        let lens: Vec<usize> = frame[..size].iter().map(|&l| l as usize).collect();
+        let mut out = Vec::with_capacity(size);
+        let mut offset = size;
         for len in lens {
             out.push(frame[offset..offset + len].to_vec());
             offset += len;
         }
-        out
+        Ok(out)
     }
 
-    /// [`Comm::allgather`] flattened: every rank receives the concatenation
-    /// of all ranks' contributions in rank order. This is the reassembly
-    /// primitive for contiguous state-block decompositions: with rank `r`
-    /// owning block `r` of a partitioned vector, the result is the full
-    /// vector, identically on every rank.
-    pub fn allgather_concat(&self, data: &[f64]) -> Vec<f64> {
-        if self.size == 1 {
-            return data.to_vec();
+    /// Gathers every group member's `data` to all members, in group order.
+    ///
+    /// # Panics
+    /// Panics when the collective fails typed (dead peer / revoked epoch).
+    pub fn allgather(&self, data: &[f64]) -> Vec<Vec<f64>> {
+        self.try_allgather(data).unwrap_or_else(|e| panic!("allgather failed: {e}"))
+    }
+
+    /// [`Comm::try_allgather`] flattened: every rank receives the
+    /// concatenation of all members' contributions in group order. This is
+    /// the reassembly primitive for contiguous state-block decompositions:
+    /// with group position `r` owning block `r` of a partitioned vector,
+    /// the result is the full vector, identically on every rank.
+    pub fn try_allgather_concat(&self, data: &[f64]) -> Result<Vec<f64>, MpiError> {
+        if self.size() == 1 {
+            return Ok(data.to_vec());
         }
         let mut out = Vec::new();
-        for part in self.allgather(data) {
+        for part in self.try_allgather(data)? {
             out.extend_from_slice(&part);
         }
-        out
+        Ok(out)
+    }
+
+    /// [`Comm::allgather`] flattened into one vector in group order.
+    ///
+    /// # Panics
+    /// Panics when the collective fails typed (dead peer / revoked epoch).
+    pub fn allgather_concat(&self, data: &[f64]) -> Vec<f64> {
+        self.try_allgather_concat(data)
+            .unwrap_or_else(|e| panic!("allgather_concat failed: {e}"))
     }
 }
 
@@ -231,17 +654,22 @@ where
         txs.push(tx);
         rxs.push(rx);
     }
-    let barrier = Arc::new(Barrier::new(size));
+    let alive: Arc<Vec<AtomicBool>> =
+        Arc::new((0..size).map(|_| AtomicBool::new(true)).collect());
 
     let comms: Vec<Comm> = rxs
         .into_iter()
         .enumerate()
         .map(|(rank, inbox)| Comm {
-            rank,
-            size,
+            world_rank: rank,
+            world_size: size,
             senders: txs.clone(),
             inbox,
-            barrier: Arc::clone(&barrier),
+            alive: Arc::clone(&alive),
+            group: RefCell::new((0..size).collect()),
+            epoch: Cell::new(0),
+            revoked: Cell::new(false),
+            deadline: Cell::new(None),
             pending: RefCell::new(Vec::new()),
         })
         .collect();
@@ -413,7 +841,7 @@ mod tests {
 
     #[test]
     fn barrier_synchronizes() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::atomic::AtomicUsize;
         let counter = AtomicUsize::new(0);
         run_world(8, |c| {
             counter.fetch_add(1, Ordering::SeqCst);
@@ -431,5 +859,161 @@ mod tests {
                 c.send(5, 0, &[1.0]);
             }
         });
+    }
+
+    #[test]
+    #[should_panic]
+    fn reserved_tag_panics() {
+        run_world(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, TAG_SPECIAL | 3, &[1.0]);
+            }
+        });
+    }
+
+    // Regression (satellite fix): a rank dying mid-collective used to
+    // leave its peers blocked forever inside `recv`. The root must now
+    // observe a typed `RankDead` carrying the offending (src, tag), and a
+    // revocation must wake the other survivor with `Revoked`.
+    #[test]
+    fn dead_rank_mid_collective_returns_typed_error() {
+        let out = run_world(3, |c| {
+            if c.rank() == 2 {
+                c.kill();
+                return "dead".to_string();
+            }
+            let mut buf = vec![1.0];
+            match c.try_allreduce_sum(&mut buf) {
+                Ok(()) => "ok".to_string(),
+                Err(MpiError::RankDead { src, tag }) => {
+                    // Only the root receives from rank 2 directly; it
+                    // revokes so the other survivor unblocks too.
+                    c.revoke();
+                    assert_eq!(src, 2);
+                    assert_ne!(tag & TAG_SPECIAL, 0, "failure was inside a collective");
+                    "rank_dead".to_string()
+                }
+                Err(MpiError::Revoked) => "revoked".to_string(),
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        });
+        assert_eq!(out[0], "rank_dead");
+        assert_eq!(out[1], "revoked");
+        assert_eq!(out[2], "dead");
+    }
+
+    #[test]
+    fn messages_sent_before_death_still_deliver() {
+        let out = run_world(2, |c| {
+            if c.rank() == 1 {
+                c.send(0, 5, &[7.0]);
+                c.kill();
+                return vec![];
+            }
+            // The backlog message must arrive even though the sender is
+            // already registered dead; the *next* receive fails typed.
+            let got = c.recv_checked(1, 5).expect("pre-death message lost");
+            assert_eq!(
+                c.recv_checked(1, 6),
+                Err(MpiError::RankDead { src: 1, tag: 6 })
+            );
+            got
+        });
+        assert_eq!(out[0], vec![7.0]);
+    }
+
+    #[test]
+    fn silent_peer_times_out_with_deadline() {
+        let out = run_world(2, |c| {
+            if c.rank() == 0 {
+                c.set_recv_deadline(Some(Duration::from_millis(40)));
+                let err = c.recv_checked(1, 9).unwrap_err();
+                assert_eq!(err, MpiError::Timeout { src: 1, tag: 9 });
+                c.set_recv_deadline(None);
+                c.send(1, 1, &[0.0]); // release the peer
+                1
+            } else {
+                c.recv(0, 1);
+                2
+            }
+        });
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn shrink_renumbers_group_and_collectives_work() {
+        let survivors = [0usize, 1, 3];
+        let out = run_world(4, |c| {
+            if c.world_rank() == 2 {
+                c.kill();
+                return (usize::MAX, usize::MAX, 0.0);
+            }
+            c.recover(&survivors, 1);
+            let mut buf = vec![c.world_rank() as f64];
+            c.allreduce_sum(&mut buf);
+            // Group gather returns parts in ascending world order.
+            let parts = c.allgather_concat(&[c.world_rank() as f64]);
+            assert_eq!(parts, vec![0.0, 1.0, 3.0]);
+            (c.rank(), c.size(), buf[0])
+        });
+        assert_eq!(out[0], (0, 3, 4.0));
+        assert_eq!(out[1], (1, 3, 4.0));
+        assert_eq!(out[3], (2, 3, 4.0));
+    }
+
+    #[test]
+    fn stale_epoch_contribution_cannot_poison_a_retry() {
+        let out = run_world(2, |c| {
+            if c.rank() == 1 {
+                // Contribute to an epoch-0 allreduce that rank 0 never
+                // joins, abandoning it on timeout — the classic
+                // half-finished collective a kill leaves behind.
+                c.set_recv_deadline(Some(Duration::from_millis(30)));
+                let mut buf = vec![100.0];
+                assert!(matches!(
+                    c.try_allreduce_sum(&mut buf),
+                    Err(MpiError::Timeout { .. })
+                ));
+                c.set_recv_deadline(None);
+                c.recover(&[0, 1], 1);
+                let mut buf = vec![2.0];
+                c.allreduce_sum(&mut buf);
+                return buf[0];
+            }
+            // Rank 0 skips epoch 0 entirely; its retry at epoch 1 must not
+            // absorb the stale 100.0 contribution.
+            c.recover(&[0, 1], 1);
+            let mut buf = vec![1.0];
+            c.allreduce_sum(&mut buf);
+            buf[0]
+        });
+        assert_eq!(out, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn grant_based_rejoin_restores_full_group() {
+        let out = run_world(2, |c| {
+            if c.world_rank() == 1 {
+                c.kill();
+                let grant = c.recv_grant(0).expect("grant never arrived");
+                assert_eq!(grant, vec![2.0, 5.0]);
+                c.recover(&[0, 1], grant[0] as u64);
+                let mut buf = vec![10.0];
+                c.allreduce_sum(&mut buf);
+                return buf[0];
+            }
+            // Coordinator: shrink to itself, then re-admit rank 1. Each
+            // membership change bumps the epoch; the grant carries the
+            // epoch of the expanded group.
+            c.recover(&[0], 1);
+            assert_eq!((c.rank(), c.size()), (0, 1));
+            c.revive(1);
+            c.send_grant(1, &[2.0, 5.0]);
+            c.recover(&[0, 1], 2);
+            let mut buf = vec![20.0];
+            c.allreduce_sum(&mut buf);
+            buf[0]
+        });
+        assert_eq!(out, vec![30.0, 30.0]);
     }
 }

@@ -82,6 +82,85 @@ impl std::fmt::Display for CollectiveError {
 
 impl std::error::Error for CollectiveError {}
 
+/// One scripted straggler episode: a rank running slow for a cycle range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Straggler {
+    /// World rank that runs slow.
+    pub rank: usize,
+    /// First affected cycle (inclusive).
+    pub from_cycle: usize,
+    /// Last affected cycle (inclusive).
+    pub to_cycle: usize,
+    /// Time multiplier (≥ 1): 2.0 means everything on this rank takes
+    /// twice as long.
+    pub slowdown: f64,
+}
+
+/// Seedable per-rank slowdown schedule for the simulated communicator.
+///
+/// Stragglers model the contention/thermal slowdowns that dominate tail
+/// latency at Frontier scale. The plan is deterministic — a pure function
+/// of its seed — so every rank evaluates the identical schedule locally
+/// and deadline decisions stay replicated. Slowdowns scale *modeled* time
+/// only (the α–β collective costs and the modeled compute), never the real
+/// wall clock of the in-process runtime.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StragglerPlan {
+    /// The scripted episodes; overlapping episodes take the worst factor.
+    pub events: Vec<Straggler>,
+}
+
+impl StragglerPlan {
+    /// The empty plan: every rank at full speed.
+    pub fn none() -> Self {
+        StragglerPlan { events: Vec::new() }
+    }
+
+    /// Deterministically samples a plan: each (rank, cycle) cell straggles
+    /// with probability `rate`, with a slowdown drawn uniformly from
+    /// `(1, max_slowdown]`. Uses a splitmix64 stream keyed by `seed` so
+    /// the plan is identical on every rank.
+    pub fn random(seed: u64, ranks: usize, cycles: usize, rate: f64, max_slowdown: f64) -> Self {
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let unit = |v: u64| (v >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let mut events = Vec::new();
+        for rank in 0..ranks {
+            for cycle in 0..cycles {
+                let (toss, mag) = (unit(next()), unit(next()));
+                if toss < rate {
+                    let slowdown = 1.0 + mag * (max_slowdown - 1.0);
+                    events.push(Straggler { rank, from_cycle: cycle, to_cycle: cycle, slowdown });
+                }
+            }
+        }
+        StragglerPlan { events }
+    }
+
+    /// The slowdown factor for `rank` at `cycle` (1.0 when unaffected;
+    /// overlapping episodes take the maximum).
+    pub fn slowdown(&self, rank: usize, cycle: usize) -> f64 {
+        self.events
+            .iter()
+            .filter(|s| s.rank == rank && (s.from_cycle..=s.to_cycle).contains(&cycle))
+            .map(|s| s.slowdown)
+            .fold(1.0, f64::max)
+    }
+
+    /// The worst slowdown among `members` at `cycle` — the factor a
+    /// bulk-synchronous step pays, since every collective completes at the
+    /// pace of its slowest participant.
+    pub fn worst(&self, cycle: usize, members: &[usize]) -> f64 {
+        members.iter().map(|&r| self.slowdown(r, cycle)).fold(1.0, f64::max)
+    }
+}
+
 /// Runs a collective over `gcds` ranks under a set of scripted rank faults.
 ///
 /// Permanent faults shrink the communicator first (their ranks never
@@ -157,6 +236,29 @@ mod tests {
 
     fn topo() -> Topology {
         Topology::frontier(16)
+    }
+
+    #[test]
+    fn straggler_plan_is_seeded_and_bulk_synchronous() {
+        assert_eq!(StragglerPlan::none().worst(3, &[0, 1, 2]), 1.0);
+        let plan = StragglerPlan {
+            events: vec![
+                Straggler { rank: 1, from_cycle: 2, to_cycle: 4, slowdown: 3.0 },
+                Straggler { rank: 1, from_cycle: 3, to_cycle: 3, slowdown: 2.0 },
+                Straggler { rank: 2, from_cycle: 0, to_cycle: 9, slowdown: 1.5 },
+            ],
+        };
+        assert_eq!(plan.slowdown(1, 1), 1.0, "outside the episode");
+        assert_eq!(plan.slowdown(1, 3), 3.0, "overlap takes the worst factor");
+        assert_eq!(plan.worst(3, &[0, 1, 2]), 3.0);
+        assert_eq!(plan.worst(3, &[0, 2]), 1.5, "shrunken group drops the straggler");
+        // Same seed => same plan; different seed => (almost surely) different.
+        let a = StragglerPlan::random(7, 8, 20, 0.3, 4.0);
+        let b = StragglerPlan::random(7, 8, 20, 0.3, 4.0);
+        assert_eq!(a, b);
+        assert!(!a.events.is_empty(), "30% rate over 160 cells must fire");
+        assert!(a.events.iter().all(|s| s.slowdown > 1.0 && s.slowdown <= 4.0));
+        assert_ne!(a, StragglerPlan::random(8, 8, 20, 0.3, 4.0));
     }
 
     #[test]

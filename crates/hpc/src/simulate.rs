@@ -212,6 +212,16 @@ pub fn ensf_step_time(topo: &Topology, job: &EnsfJob, gcds: usize) -> f64 {
     compute + reduce
 }
 
+/// Modeled compute time [s] of one sharded reverse-SDE step on one rank:
+/// the rank scores `members` particles over its `local_len` state
+/// components at the calibrated [`ENSF_GCD_RATE`]. The elastic cycle
+/// driver prices its per-cycle deadline budget with this — the bulk-
+/// synchronous step then costs the *worst* rank's figure (largest shard ×
+/// largest straggler slowdown).
+pub fn shard_step_compute_secs(members: usize, local_len: usize) -> f64 {
+    members as f64 * local_len as f64 / ENSF_GCD_RATE
+}
+
 /// The full Fig.-1 workflow cycle: online ViT fine-tuning followed by the
 /// EnSF analysis. The paper's premise is that this must complete within the
 /// operational cadence (e.g. hourly), which is what makes the HPC scaling

@@ -15,7 +15,7 @@ pub mod channel {
     use std::sync::mpsc;
 
     /// Error returned when the receiving side has hung up.
-    pub use std::sync::mpsc::{RecvError, SendError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// Sending half of an unbounded channel.
     pub struct Sender<T> {
@@ -49,6 +49,17 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
             self.inner.try_recv()
+        }
+
+        /// Blocks until a message arrives or `timeout` elapses. Wakes
+        /// immediately on arrival (a real timed wait, not a sleep), which
+        /// the simulated-MPI runtime relies on for low-latency polling of
+        /// dead-rank flags while a receive is parked.
+        pub fn recv_timeout(
+            &self,
+            timeout: std::time::Duration,
+        ) -> Result<T, mpsc::RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
         }
     }
 

@@ -46,6 +46,13 @@ pub enum FlightKind {
     CollectiveShrink,
     /// A simulated collective exhausted its retry budget (`a` = attempts).
     CollectiveExhausted,
+    /// A previously dead rank rejoined the communicator from a checkpoint
+    /// (`a` = rejoined world rank, `b` = new group size).
+    RankRejoin,
+    /// A per-cycle deadline event (`label` = `"deadline_degraded"`,
+    /// `"deadline_forecast_only"` or `"deadline_blown"`; `a` = modeled
+    /// cycle seconds, `b` = budget seconds).
+    Deadline,
     /// Anything else worth keeping in the black box.
     Other,
 }
@@ -60,6 +67,8 @@ impl FlightKind {
             FlightKind::RetryExhausted => "retry_exhausted",
             FlightKind::CollectiveShrink => "collective_shrink",
             FlightKind::CollectiveExhausted => "collective_exhausted",
+            FlightKind::RankRejoin => "rank_rejoin",
+            FlightKind::Deadline => "deadline",
             FlightKind::Other => "other",
         }
     }
@@ -325,6 +334,22 @@ mod tests {
         assert_eq!(flight[0].get("label").and_then(Json::as_str), Some("healthy->degraded"));
         assert!(doc.get("counters").unwrap().get("flight.test.counter").is_some());
         assert!(path.file_name().unwrap().to_string_lossy().contains("unit_test"));
+    }
+
+    #[test]
+    fn elastic_kinds_have_stable_names() {
+        let _lock = crate::TEST_LOCK.lock();
+        assert_eq!(FlightKind::RankRejoin.as_str(), "rank_rejoin");
+        assert_eq!(FlightKind::Deadline.as_str(), "deadline");
+        crate::set_enabled(true);
+        reset_flight();
+        flight_record(FlightKind::Deadline, 4, "deadline_blown", 2.5, 1.0);
+        flight_record(FlightKind::RankRejoin, 5, "rank_rejoin", 3.0, 8.0);
+        let events = flight_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, FlightKind::Deadline);
+        assert_eq!(events[1].label(), "rank_rejoin");
+        reset_flight();
     }
 
     #[test]

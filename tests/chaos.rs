@@ -71,7 +71,7 @@ fn chaos_run_completes_and_beats_free_run() {
             ],
             obs_faults: vec![(4, ObsFault::Drop), (11, ObsFault::Thin { stride: 4 })],
             analysis_faults: vec![AnalysisFault { cycle: 6, failures: 9 }],
-            kill_after: None,
+            ..FaultPlan::none()
         },
         // EnSF's equilibrium spread at this scale sits near the default
         // 0.1σ floor; loosen it so only scripted faults trip guardrails.

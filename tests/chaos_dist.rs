@@ -1,0 +1,216 @@
+//! Chaos testing for the elastic distributed runtime: every hostile
+//! scenario — rank kill, rank rejoin, straggler-blown deadline — must
+//! terminate with a **typed outcome** (never a hang, never a panic) and
+//! leave a **flight-recorder postmortem** on disk that names the failure
+//! and carries the degrading cycle's own DA diagnostics.
+//!
+//! Mirrors `tests/chaos.rs` for the supervised single-process loop; here
+//! the fault surface is the simulated MPI world itself.
+
+use sqg_da::da_core::osse::OsseConfig;
+use sqg_da::da_core::resilience::{CheckpointConfig, RankKill, RankRejoin};
+use sqg_da::dist::{
+    modeled_analysis_secs, run_elastic_osse, DeadlinePolicy, DistCycleConfig,
+    ElasticCycleConfig, ElasticOutcome,
+};
+use sqg_da::ensf::EnsfConfig;
+use sqg_da::hpc::{Straggler, StragglerPlan};
+use sqg_da::sqg::SqgParams;
+
+/// Serializes the tests in this file: they all flip process-global
+/// telemetry state (enable flag, counters, flight ring, postmortem sink).
+static TELEMETRY_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Reduced grid (`d = 512`, 8 tiles of 64), matching the elastic unit tests.
+fn elastic_config(cycles: usize) -> ElasticCycleConfig {
+    ElasticCycleConfig::clean(DistCycleConfig {
+        osse: OsseConfig {
+            params: SqgParams { n: 16, ..Default::default() },
+            cycles,
+            obs_sigma: 0.005,
+            ens_size: 8,
+            ic_sigma: 0.01,
+            spinup_steps: 40,
+            seed: 3,
+            ..Default::default()
+        },
+        ensf: EnsfConfig { n_steps: 10, seed: 5, ..Default::default() },
+        ..Default::default()
+    })
+}
+
+/// A fresh per-test postmortem directory under the system temp dir.
+fn postmortem_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("sqg_da_chaos_dist_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create postmortem dir");
+    dir
+}
+
+/// Reads every postmortem file whose name contains `slug` and returns
+/// their concatenated JSON text (empty if none matched).
+fn postmortems_matching(dir: &std::path::Path, slug: &str) -> String {
+    let mut text = String::new();
+    for entry in std::fs::read_dir(dir).expect("read postmortem dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap_or_default().to_string_lossy().into_owned();
+        if name.starts_with("postmortem-") && name.contains(slug) {
+            text.push_str(&std::fs::read_to_string(&path).expect("read postmortem"));
+        }
+    }
+    text
+}
+
+fn telemetry_scope(dir: &std::path::Path) {
+    telemetry::reset();
+    telemetry::set_enabled(true);
+    telemetry::set_postmortem_dir(Some(dir));
+}
+
+fn telemetry_close() {
+    telemetry::set_postmortem_dir(None);
+    telemetry::set_enabled(false);
+    telemetry::reset();
+}
+
+/// A rank killed mid-analysis terminates the run with a typed outcome and
+/// dumps a `rank_dead_shrink` postmortem whose flight ring records the
+/// shrink and whose recent-cycle log carries the degrading cycle's
+/// diagnostics.
+#[test]
+fn rank_kill_leaves_shrink_postmortem_with_cycle_diagnostics() {
+    let _gate = TELEMETRY_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = postmortem_dir("kill");
+    telemetry_scope(&dir);
+
+    let mut config = elastic_config(3);
+    config.faults.rank_kills.push(RankKill { cycle: 1, rank: 2, after_steps: 4 });
+    let result = run_elastic_osse(&config, 3).unwrap();
+
+    // Typed outcome, no hang: the survivors completed every cycle.
+    assert_eq!(result.outcome, ElasticOutcome::Completed);
+    assert_eq!(result.counters.shrinks, 1);
+    assert_eq!(telemetry::counter_value("elastic.shrinks"), 1);
+    assert_eq!(telemetry::counter_value("elastic.cycles"), 3);
+
+    let text = postmortems_matching(&dir, "rank_dead_shrink");
+    assert!(!text.is_empty(), "kill must dump a rank_dead_shrink postmortem");
+    // The black box names the shrink in the flight ring...
+    assert!(text.contains("\"collective_shrink\""), "flight ring records the shrink:\n{text}");
+    assert!(text.contains("rank_dead_shrink"), "postmortem reason names the shrink");
+    // ...and the degrading cycle's record is present with its diagnostics
+    // (postmortems are dumped after `record_cycle`, so the cycle that
+    // shrank is in `recent_cycles` with a full DA diagnostics block).
+    assert!(text.contains("\"recent_cycles\""));
+    assert!(text.contains("\"diagnostics\""), "degrading cycle carries diagnostics:\n{text}");
+    assert!(text.contains("\"spread_skill\""), "diagnostics block is populated");
+
+    telemetry_close();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A kill that forces the analysis to be redone blows the cycle budget
+/// post hoc (the ladder predicted one attempt; the shrink bought a
+/// second): the run still terminates with a typed outcome, counts the
+/// cycle as a deadline miss, and dumps a `deadline_blown` postmortem.
+#[test]
+fn blown_deadline_leaves_postmortem_and_typed_outcome() {
+    let _gate = TELEMETRY_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = postmortem_dir("deadline");
+    telemetry_scope(&dir);
+
+    let mut config = elastic_config(3);
+    config.base.comm = Some(sqg_da::dist::CommSpec::clean(2));
+    let dim = config.base.osse.params.state_dim();
+    let steps = config.base.ensf.n_steps;
+    let full2 = modeled_analysis_secs(&config.base, dim, 8, steps, 2);
+    let deg1 = modeled_analysis_secs(&config.base, dim, 8, 3, 1);
+    // Budget fits exactly one clean attempt plus half of the cheapest
+    // possible retry: whatever rung the post-shrink re-evaluation picks
+    // (full or degraded at 1 rank), the accumulated time must blow it —
+    // and the degraded rung still fits on its own, so the retry runs
+    // rather than dropping to forecast-only.
+    config.faults.rank_kills.push(RankKill { cycle: 1, rank: 1, after_steps: 2 });
+    config.deadline =
+        Some(DeadlinePolicy { budget_secs: full2 + 0.5 * deg1, degraded_steps: 3 });
+    let result = run_elastic_osse(&config, 2).unwrap();
+
+    assert_eq!(result.outcome, ElasticOutcome::Completed);
+    assert_eq!(result.counters.shrinks, 1);
+    assert_eq!(result.counters.deadline_blown, 1, "redone cycle 1 must blow its budget");
+    assert_eq!(result.deadline_hits, result.deadline_total - 1);
+    assert_eq!(telemetry::counter_value("elastic.deadline.blown"), 1);
+
+    let text = postmortems_matching(&dir, "deadline_blown");
+    assert!(!text.is_empty(), "blown budget must dump a deadline_blown postmortem");
+    assert!(text.contains("deadline_blown"), "postmortem names the deadline event");
+    assert!(text.contains("\"recent_cycles\""));
+
+    telemetry_close();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Kill → checkpoint-backed rejoin: both the death and the re-admission
+/// land in the flight ring, every rank ends with a typed `Completed`
+/// outcome, and the rejoin counter agrees with the script.
+#[test]
+fn rejoin_after_kill_is_recorded_and_completes() {
+    let _gate = TELEMETRY_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = postmortem_dir("rejoin");
+    telemetry_scope(&dir);
+
+    let path = std::env::temp_dir()
+        .join(format!("sqg_da_chaos_dist_rejoin_{}.ckpt", std::process::id()));
+    let mut config = elastic_config(4);
+    config.faults.rank_kills.push(RankKill { cycle: 1, rank: 1, after_steps: 2 });
+    config.faults.rank_rejoins.push(RankRejoin { cycle: 3, rank: 1 });
+    config.checkpoint = Some(CheckpointConfig { path: path.clone(), every: 1 });
+    let result = run_elastic_osse(&config, 2).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(result.outcome, ElasticOutcome::Completed);
+    assert_eq!(result.counters.rejoins, 1);
+    assert_eq!(result.group_sizes.last(), Some(&(3, 2)), "full group restored");
+    assert_eq!(telemetry::counter_value("elastic.rejoins"), 1);
+    let events = telemetry::flight_events();
+    assert!(
+        events.iter().any(|e| e.label() == "rank_dead_shrink"),
+        "flight ring records the death"
+    );
+    assert!(
+        events.iter().any(|e| e.label() == "rank_rejoin"),
+        "flight ring records the re-admission"
+    );
+    // The kill itself still left its postmortem on the way down.
+    assert!(!postmortems_matching(&dir, "rank_dead_shrink").is_empty());
+
+    telemetry_close();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Belt-and-braces no-hang sweep: all three chaos channels at once (kill,
+/// straggler, tight deadline) on a larger world still terminates with a
+/// typed outcome for every rank and a finite trajectory.
+#[test]
+fn combined_chaos_terminates_with_typed_outcomes() {
+    let _gate = TELEMETRY_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    // Telemetry stays dark here: this scenario is about termination, and
+    // running it dark also covers the counters-disabled paths.
+    let mut config = elastic_config(4);
+    config.base.comm = Some(sqg_da::dist::CommSpec::clean(4));
+    let dim = config.base.osse.params.state_dim();
+    let full = modeled_analysis_secs(&config.base, dim, 8, config.base.ensf.n_steps, 4);
+    config.faults.rank_kills.push(RankKill { cycle: 1, rank: 3, after_steps: 1 });
+    config.stragglers = StragglerPlan {
+        events: vec![Straggler { rank: 1, from_cycle: 2, to_cycle: 2, slowdown: 8.0 }],
+    };
+    config.deadline = Some(DeadlinePolicy { budget_secs: full * 3.0, degraded_steps: 3 });
+    let result = run_elastic_osse(&config, 4).unwrap();
+
+    assert_eq!(result.outcome, ElasticOutcome::Completed);
+    assert_eq!(result.counters.shrinks, 1);
+    assert_eq!(result.cycle_means.len(), 4, "every cycle completed");
+    assert!(result.series.rmse.iter().all(|r| r.is_finite()));
+    assert!(result.deadline_total == 4);
+}

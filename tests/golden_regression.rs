@@ -18,8 +18,10 @@
 //! UPDATE_GOLDEN=1 cargo test --test golden_regression
 //! ```
 
-use sqg_da::da_core::osse::{initial_ensemble, nature_run, OsseConfig};
-use sqg_da::da_core::{AnalysisScheme, EnsfScheme, ForecastModel, LetkfScheme, SqgForecast};
+use sqg_da::da_core::osse::{initial_ensemble, nature_run, ObsOperatorKind, OsseConfig};
+use sqg_da::da_core::{
+    AnalysisScheme, ArctanEnsfScheme, EnsfScheme, ForecastModel, LetkfScheme, SqgForecast,
+};
 use sqg_da::ensf::EnsfConfig;
 use sqg_da::letkf::LetkfConfig;
 use sqg_da::sqg::SqgParams;
@@ -57,16 +59,26 @@ fn osse_config() -> OsseConfig {
     }
 }
 
+/// Gain of the standard saturating-observation scenario: deep enough to
+/// saturate the SQG state's amplitude range (see the `nonlinear_obs`
+/// promotion, ROADMAP item 2).
+const ARCTAN_GAIN: f64 = 40.0;
+
+/// The standard nonlinear-observation scenario: the same reduced-grid OSSE
+/// observed through componentwise `arctan(40 · x)`.
+fn arctan_config() -> OsseConfig {
+    OsseConfig { obs_operator: ObsOperatorKind::Arctan { gain: ARCTAN_GAIN }, ..osse_config() }
+}
+
 /// `(cycle, analysis mean, analysis spread)` at each checkpoint.
 type Trajectory = Vec<(usize, Vec<f64>, f64)>;
 
-/// Runs the 10-cycle OSSE with the given scheme, recording the analysis
-/// mean and spread at the checkpoint cycles.
-fn run_trajectory(scheme: &mut dyn AnalysisScheme) -> Trajectory {
-    let config = osse_config();
-    let nature = nature_run(&config);
+/// Runs the 10-cycle OSSE described by `config` with the given scheme,
+/// recording the analysis mean and spread at the checkpoint cycles.
+fn run_trajectory(config: &OsseConfig, scheme: &mut dyn AnalysisScheme) -> Trajectory {
+    let nature = nature_run(config);
     let mut model = SqgForecast::perfect(config.params.clone());
-    let mut ensemble = initial_ensemble(&config, &nature.truth[0]);
+    let mut ensemble = initial_ensemble(config, &nature.truth[0]);
     let mut out = Vec::new();
     for cycle in 0..config.cycles {
         model.forecast_ensemble(&mut ensemble, config.obs_interval_hours);
@@ -202,7 +214,7 @@ fn ensf_trajectory_matches_golden() {
         config.params.state_dim(),
         config.obs_sigma,
     );
-    check_against_golden("ensf", &run_trajectory(&mut scheme));
+    check_against_golden("ensf", &run_trajectory(&config, &mut scheme));
 }
 
 #[test]
@@ -210,7 +222,24 @@ fn letkf_trajectory_matches_golden() {
     pin_scalar_simd();
     let config = osse_config();
     let mut scheme = LetkfScheme::new(LetkfConfig::default(), &config.params, config.obs_sigma);
-    check_against_golden("letkf", &run_trajectory(&mut scheme));
+    check_against_golden("letkf", &run_trajectory(&config, &mut scheme));
+}
+
+/// Pins the standard nonlinear-observation scenario: EnSF assimilating
+/// observations taken through the saturating `arctan(40 · x)` operator.
+/// Both the nature run's observation generation and the scheme's
+/// observation-space pull are on the fixture's critical path.
+#[test]
+fn ensf_arctan_trajectory_matches_golden() {
+    pin_scalar_simd();
+    let config = arctan_config();
+    let mut scheme = ArctanEnsfScheme::new(
+        EnsfConfig { n_steps: 10, seed: 5, ..Default::default() },
+        config.params.state_dim(),
+        config.obs_sigma,
+        ARCTAN_GAIN,
+    );
+    check_against_golden("ensf_arctan", &run_trajectory(&config, &mut scheme));
 }
 
 #[test]
