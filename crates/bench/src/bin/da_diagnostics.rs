@@ -1,7 +1,7 @@
-//! Assimilation-diagnostics report: EnSF vs LETKF filter calibration on
-//! the reduced SQG OSSE.
+//! Assimilation-diagnostics report: EnSF vs flow-matching EnSF vs LETKF
+//! filter calibration on the reduced SQG OSSE.
 //!
-//! Runs the two analysis schemes over the same nature run with telemetry
+//! Runs the analysis schemes over the same nature run with telemetry
 //! on, then aggregates the per-cycle [`telemetry::DaDiagnostics`] into the
 //! classic filter-health pictures: the ensemble **rank histogram** (flat ⇒
 //! calibrated, U-shaped ⇒ underdispersive, dome ⇒ overdispersive), the
@@ -15,7 +15,7 @@
 
 use bench::{bar, header, Json};
 use da_core::osse::{nature_run, run_experiment, OsseConfig};
-use da_core::{EnsfScheme, LetkfScheme, SqgForecast};
+use da_core::{EnsfScheme, FlowMatchingEnsfScheme, LetkfScheme, SqgForecast};
 use sqg::SqgParams;
 use telemetry::CycleRecord;
 
@@ -101,7 +101,7 @@ fn main() {
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(if quick { 10 } else { 40 });
 
-    header("da_diagnostics", "EnSF vs LETKF filter calibration on the reduced SQG OSSE");
+    header("da_diagnostics", "EnSF vs FlowEnSF vs LETKF filter calibration on the reduced SQG OSSE");
     // The diagnostics *are* the product here, so collection is always on.
     telemetry::set_enabled(true);
     telemetry::reset();
@@ -132,20 +132,46 @@ fn main() {
     let ensf_series =
         run_experiment("EnSF", &config, &nature, &mut model, &mut ensf).expect("EnSF run failed");
 
+    // The flow-matching path runs the same score machinery through a 6-step
+    // deterministic probability-flow ODE. Spread relaxation is backed off
+    // and the per-component variance estimate is shrunk toward its mean so
+    // the deterministic transport stays calibrated at 16 members (see
+    // EXPERIMENTS.md: under full RTPS the reduced-grid forecast spread
+    // runs away and the deterministic path has no obs noise to hide it).
+    let mut model_flow = SqgForecast::perfect(config.params.clone());
+    let mut flow = FlowMatchingEnsfScheme::new(
+        ensf::EnsfConfig {
+            n_steps: 6,
+            seed: config.seed ^ 0xE45F,
+            spread_relaxation: 0.25,
+            variance_smoothing: 1.0,
+            ..Default::default()
+        },
+        dim,
+        config.obs_sigma,
+    );
+    let flow_series = run_experiment("FlowEnSF", &config, &nature, &mut model_flow, &mut flow)
+        .expect("FlowEnSF run failed");
+
     let mut model2 = SqgForecast::perfect(config.params.clone());
     let mut letkf = LetkfScheme::new(letkf::LetkfConfig::default(), &config.params, config.obs_sigma);
     let letkf_series = run_experiment("LETKF", &config, &nature, &mut model2, &mut letkf)
         .expect("LETKF run failed");
 
     let records = telemetry::cycle_records();
-    let aggs = [aggregate("EnSF", &records), aggregate("LETKF", &records)];
+    let aggs = [
+        aggregate("EnSF", &records),
+        aggregate("FlowEnSF", &records),
+        aggregate("LETKF", &records),
+    ];
     for agg in &aggs {
         assert_eq!(agg.hours.len(), cycles, "{}: every cycle must carry diagnostics", agg.label);
         print_aggregate(agg);
     }
     println!(
-        "\nsteady RMSE: EnSF {:.5}, LETKF {:.5} (climatology SD {:.5})",
+        "\nsteady RMSE: EnSF {:.5}, FlowEnSF {:.5}, LETKF {:.5} (climatology SD {:.5})",
         ensf_series.steady_rmse(),
+        flow_series.steady_rmse(),
         letkf_series.steady_rmse(),
         nature.climatology_sd
     );
@@ -154,11 +180,12 @@ fn main() {
 
     bench::emit_json(
         "da_diagnostics",
-        "EnSF vs LETKF filter calibration on the reduced SQG OSSE",
+        "EnSF vs FlowEnSF vs LETKF filter calibration on the reduced SQG OSSE",
         Json::obj(vec![
             ("cycles", Json::from(cycles)),
             ("climatology_sd", Json::Num(nature.climatology_sd)),
             ("ensf_steady_rmse", Json::Num(ensf_series.steady_rmse())),
+            ("flow_steady_rmse", Json::Num(flow_series.steady_rmse())),
             ("letkf_steady_rmse", Json::Num(letkf_series.steady_rmse())),
             ("schemes", Json::Arr(aggs.iter().map(aggregate_json).collect())),
         ]),

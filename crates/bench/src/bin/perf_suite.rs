@@ -5,9 +5,14 @@
 //! * EnSF analysis wall time, reference vs batched kernel, across several
 //!   (particles, members, dim) shapes including the paper-scale
 //!   `P=20, M=20, d=8192` with 100 reverse-SDE steps;
-//! * SQG RK4 step time (plan-cached, scratch-hoisted hot path) and the
-//!   state-vector spectral roundtrip with cached vs freshly built plans;
-//! * raw GEMM throughput of the two kernels the batched score rides on.
+//! * SQG RK4 step time (plan-cached, scratch-hoisted hot path), the cached
+//!   state-vector spectral roundtrip, and FFT plan acquisition cost (warm
+//!   cache lookup vs fresh twiddle/bit-reversal build);
+//! * raw GEMM throughput of the two kernels the batched score rides on;
+//! * the flow-matching step-count sweep: few-step probability-flow ODE vs
+//!   the 100-step reverse SDE (and LETKF) on the reduced Fig. 3 OSSE, with
+//!   identity and saturating-arctan observation operators, yielding the
+//!   matched-RMSE analysis speedup that `bench_gate` enforces (>= 5x).
 //!
 //! Writes a machine-readable report to `BENCH_perf.json` (override with
 //! `--out <path>`); `--quick` shrinks shapes and repetitions for CI.
@@ -15,6 +20,11 @@
 //! Run: `cargo run --release -p bench --bin perf_suite`
 
 use bench::{header, Json};
+use da_core::osse::{initial_ensemble, nature_run, NatureRun, ObsOperatorKind, OsseConfig};
+use da_core::{
+    AnalysisScheme, ArctanEnsfScheme, EnsfScheme, FlowMatchingArctanEnsfScheme,
+    FlowMatchingEnsfScheme, ForecastModel, LetkfScheme, SqgForecast,
+};
 use ensf::{Ensf, EnsfConfig, IdentityObs, ScoreKernel};
 use fft::{plan_cache, Complex, Direction, Fft2};
 use linalg::gemm::{matmul_abt_into, matmul_slices_into};
@@ -109,8 +119,8 @@ fn bench_sqg(quick: bool, reps: usize) -> Json {
         theta[0][0] = th[0][0]; // keep the work observable
     });
 
-    // Spectral <-> grid roundtrip: cached plans vs building plans fresh
-    // each conversion (the pre-cache behavior of the state converters).
+    // Spectral <-> grid roundtrip on cached plans, for context on how much
+    // transform work a conversion amortizes the plan cost against.
     let grid = state.to_grid();
     let roundtrip = |fwd: &Fft2, inv: &Fft2| {
         let mut acc = 0.0;
@@ -127,25 +137,46 @@ fn bench_sqg(quick: bool, reps: usize) -> Json {
         let inv = plan_cache::fft2(n, n, Direction::Inverse);
         std::hint::black_box(roundtrip(&fwd, &inv));
     });
-    let fresh_secs = median_secs(reps, || {
-        let fwd = Fft2::new(n, n, Direction::Forward);
-        let inv = Fft2::new(n, n, Direction::Inverse);
-        std::hint::black_box(roundtrip(&fwd, &inv));
-    });
+
+    // Plan acquisition itself: a warm cache hit (map lookup + Arc clone) vs
+    // an honest fresh build (twiddle and bit-reversal tables for both axes).
+    // The previous version of this suite compared cached-plan vs fresh-plan
+    // *roundtrips*, where the build cost is amortized under milliseconds of
+    // transform work — that reported a meaningless ~1.0x "speedup". Timing
+    // the acquisitions directly is what the plan cache actually buys.
+    let plan_iters = 64;
+    std::hint::black_box(plan_cache::fft2(n, n, Direction::Forward));
+    std::hint::black_box(plan_cache::fft2(n, n, Direction::Inverse));
+    let plan_lookup_secs = median_secs(reps, || {
+        for _ in 0..plan_iters {
+            std::hint::black_box(plan_cache::fft2(n, n, Direction::Forward));
+            std::hint::black_box(plan_cache::fft2(n, n, Direction::Inverse));
+        }
+    }) / plan_iters as f64;
+    let plan_build_secs = median_secs(reps, || {
+        for _ in 0..plan_iters {
+            std::hint::black_box(Fft2::new(n, n, Direction::Forward));
+            std::hint::black_box(Fft2::new(n, n, Direction::Inverse));
+        }
+    }) / plan_iters as f64;
+    let plan_cache_speedup = plan_build_secs / plan_lookup_secs;
+
     let (hits, misses) = plan_cache::stats();
     println!(
-        "sqg n={n}: rk4 step {:.6}s  roundtrip cached {:.6}s / fresh {:.6}s ({:.2}x)  cache hits {hits} misses {misses}",
+        "sqg n={n}: rk4 step {:.6}s  roundtrip cached {:.6}s  plan build {:.3e}s / lookup {:.3e}s ({:.1}x)  cache hits {hits} misses {misses}",
         step_secs / 4.0,
         cached_secs,
-        fresh_secs,
-        fresh_secs / cached_secs
+        plan_build_secs,
+        plan_lookup_secs,
+        plan_cache_speedup
     );
     Json::obj(vec![
         ("n", Json::from(n as u64)),
         ("rk4_step_secs", Json::from(step_secs / 4.0)),
         ("roundtrip_cached_secs", Json::from(cached_secs)),
-        ("roundtrip_fresh_secs", Json::from(fresh_secs)),
-        ("plan_cache_speedup", Json::from(fresh_secs / cached_secs)),
+        ("plan_build_secs", Json::from(plan_build_secs)),
+        ("plan_lookup_secs", Json::from(plan_lookup_secs)),
+        ("plan_cache_speedup", Json::from(plan_cache_speedup)),
         ("plan_cache_hits", Json::from(hits)),
         ("plan_cache_misses", Json::from(misses)),
     ])
@@ -192,6 +223,203 @@ fn bench_gemm(quick: bool, reps: usize) -> Json {
     ])
 }
 
+/// Saturation gain for the arctan leg of the flow sweep. Mild: the
+/// observations stay informative over the 20-cycle run (the golden
+/// fixtures' stress gain of 40 saturates so hard at `d = 512` that every
+/// filter diverges, which would make the sweep meaningless).
+const FLOW_ARCTAN_GAIN: f64 = 1.0;
+
+/// Accuracy corridor for the matched-RMSE headline: the cheapest flow step
+/// count whose steady RMSE is within 10% of the 100-step reverse SDE.
+const FLOW_RMSE_SLACK: f64 = 1.1;
+
+/// Reduced Fig. 3 OSSE for the step-count sweep: the diagnostics-harness
+/// grid (`16x16x2`, Ekman-damped) observed every 12 h with moderate noise.
+/// `obs_sigma = 0.03` deliberately sits above the paper's 0.01: with
+/// near-perfect observations the stochastic sampler's bias toward pinning
+/// every member onto the noisy obs is unbeatable by construction (RMSE ==
+/// obs noise), so a matched-accuracy comparison there measures the bias,
+/// not the transport. At moderate noise both transports have to weigh
+/// prior against obs and the comparison is fair.
+fn flow_osse_config(quick: bool, obs_operator: ObsOperatorKind) -> OsseConfig {
+    OsseConfig {
+        params: SqgParams { n: if quick { 8 } else { 16 }, ekman: 0.05, ..Default::default() },
+        cycles: if quick { 4 } else { 20 },
+        obs_sigma: 0.03,
+        ens_size: 16,
+        spinup_steps: if quick { 20 } else { 200 },
+        seed: 3,
+        obs_operator,
+        ..Default::default()
+    }
+}
+
+/// One cycling DA run against a precomputed nature run, timing *only* the
+/// analysis calls (the RK4 forecast dominates wall time and is identical
+/// across schemes). Returns (steady RMSE vs truth, total analysis seconds).
+fn cycle_da(config: &OsseConfig, nature: &NatureRun, scheme: &mut dyn AnalysisScheme) -> (f64, f64) {
+    let mut model = SqgForecast::perfect(config.params.clone());
+    let mut ensemble = initial_ensemble(config, &nature.truth[0]);
+    let mut analysis_secs = 0.0;
+    let mut rmse = Vec::with_capacity(config.cycles);
+    for cycle in 0..config.cycles {
+        model.forecast_ensemble(&mut ensemble, config.obs_interval_hours);
+        let t0 = Instant::now();
+        ensemble = scheme.analyze(&ensemble, &nature.observations[cycle]);
+        analysis_secs += t0.elapsed().as_secs_f64();
+        rmse.push(stats::metrics::rmse(&ensemble.mean(), &nature.truth[cycle + 1]));
+        if std::env::var("FLOW_SWEEP_TRACE").is_ok() {
+            println!(
+                "  trace cycle {cycle:2}: rmse {:.4e}  spread {:.4e}",
+                rmse.last().unwrap(),
+                ensemble.spread()
+            );
+        }
+    }
+    let tail = &rmse[rmse.len() / 2..];
+    (tail.iter().sum::<f64>() / tail.len() as f64, analysis_secs)
+}
+
+/// Builds the EnSF-family scheme for one sweep point.
+fn sweep_scheme(
+    operator: ObsOperatorKind,
+    flow: bool,
+    n_steps: usize,
+    dim: usize,
+    obs_sigma: f64,
+) -> Box<dyn AnalysisScheme> {
+    // Shared calibration for both transports (see EXPERIMENTS.md): mild
+    // RTPS (the paper's 1.0 re-inflates the runaway reduced-grid forecast
+    // spread until the few-step ODE ensemble leaves the SQG stability
+    // envelope) and full variance shrinkage for the flow guidance (16
+    // members are too few for usable raw per-component variances).
+    let config = EnsfConfig {
+        n_steps,
+        seed: 5,
+        spread_relaxation: 0.25,
+        variance_smoothing: 1.0,
+        ..Default::default()
+    };
+    match (operator, flow) {
+        (ObsOperatorKind::Identity, false) => Box::new(EnsfScheme::new(config, dim, obs_sigma)),
+        (ObsOperatorKind::Identity, true) => {
+            Box::new(FlowMatchingEnsfScheme::new(config, dim, obs_sigma))
+        }
+        (ObsOperatorKind::Arctan { gain }, false) => {
+            Box::new(ArctanEnsfScheme::new(config, dim, obs_sigma, gain))
+        }
+        (ObsOperatorKind::Arctan { gain }, true) => {
+            Box::new(FlowMatchingArctanEnsfScheme::new(config, dim, obs_sigma, gain))
+        }
+    }
+}
+
+/// Step-count-vs-RMSE sweep: few-step probability-flow ODE vs the reverse
+/// SDE at 1/2/5/10/25/100 steps, on the identity and arctan OSSEs, with a
+/// LETKF reference row. The headline metrics — `matched_steps`,
+/// `speedup_at_matched_rmse`, `matched_rmse_ratio` — compare the cheapest
+/// flow grid whose steady RMSE stays within 10% of the 100-step SDE on the
+/// identity OSSE, which is what `bench_gate` enforces.
+fn bench_flow(quick: bool) -> Json {
+    let step_counts: &[usize] = if quick { &[1, 5, 25] } else { &[1, 2, 5, 10, 25, 100] };
+    let baseline_steps = 100usize;
+    let mut sweep = Vec::new();
+    // Identity-operator rows feed the matched-RMSE headline: (flow, steps, rmse, secs).
+    let mut identity_rows: Vec<(bool, usize, f64, f64)> = Vec::new();
+
+    for (op_name, operator) in [
+        ("identity", ObsOperatorKind::Identity),
+        ("arctan", ObsOperatorKind::Arctan { gain: FLOW_ARCTAN_GAIN }),
+    ] {
+        let config = flow_osse_config(quick, operator);
+        let nature = nature_run(&config);
+        let dim = nature.truth[0].len();
+
+        for flow in [false, true] {
+            // Quick mode truncates the grid but always runs the 100-step
+            // SDE baseline so the derived metrics exist.
+            let mut steps: Vec<usize> = step_counts.to_vec();
+            if !flow && !steps.contains(&baseline_steps) {
+                steps.push(baseline_steps);
+            }
+            for n_steps in steps {
+                let mut scheme = sweep_scheme(operator, flow, n_steps, dim, config.obs_sigma);
+                let (rmse, secs) = cycle_da(&config, &nature, scheme.as_mut());
+                let method = if flow { "flow" } else { "ensf" };
+                println!(
+                    "flow sweep {op_name:8} {method:4} steps={n_steps:3}:  rmse {rmse:.5e}  analysis {secs:.4}s"
+                );
+                sweep.push(Json::obj(vec![
+                    ("operator", Json::from(op_name)),
+                    ("method", Json::from(method)),
+                    ("n_steps", Json::from(n_steps as u64)),
+                    ("rmse", Json::from(rmse)),
+                    ("analysis_secs", Json::from(secs)),
+                ]));
+                if matches!(operator, ObsOperatorKind::Identity) {
+                    identity_rows.push((flow, n_steps, rmse, secs));
+                }
+            }
+        }
+
+        if matches!(operator, ObsOperatorKind::Identity) {
+            // LETKF reference row (identity obs only: the localized solver
+            // assumes h = I).
+            let mut letkf =
+                LetkfScheme::new(letkf::LetkfConfig::default(), &config.params, config.obs_sigma);
+            let (rmse, secs) = cycle_da(&config, &nature, &mut letkf);
+            println!("flow sweep {op_name:8} letkf        :  rmse {rmse:.5e}  analysis {secs:.4}s");
+            sweep.push(Json::obj(vec![
+                ("operator", Json::from(op_name)),
+                ("method", Json::from("letkf")),
+                ("n_steps", Json::from(0u64)),
+                ("rmse", Json::from(rmse)),
+                ("analysis_secs", Json::from(secs)),
+            ]));
+        }
+    }
+
+    let &(_, _, base_rmse, base_secs) = identity_rows
+        .iter()
+        .find(|&&(flow, n, _, _)| !flow && n == baseline_steps)
+        .expect("100-step SDE baseline always runs");
+
+    // Cheapest flow grid inside the accuracy corridor; if none qualifies,
+    // fall back to the most accurate finite flow row so the gate metrics
+    // stay present and honestly report the miss via the RMSE ratio. NaN
+    // rows (diverged runs, serialized as null) never qualify: comparisons
+    // against NaN are false and the fallback filters to finite RMSE.
+    let mut flow_rows: Vec<_> = identity_rows.iter().filter(|&&(flow, _, _, _)| flow).collect();
+    flow_rows.sort_by_key(|&&(_, n, _, _)| n);
+    let &&(_, matched_steps, matched_rmse, matched_secs) = flow_rows
+        .iter()
+        .find(|&&&(_, _, rmse, _)| rmse <= FLOW_RMSE_SLACK * base_rmse)
+        .or_else(|| {
+            flow_rows
+                .iter()
+                .filter(|&&&(_, _, rmse, _)| rmse.is_finite())
+                .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite RMSE"))
+        })
+        .expect("at least one finite flow row in the sweep");
+    let speedup = base_secs / matched_secs;
+    let ratio = matched_rmse / base_rmse;
+    println!(
+        "flow matched: {matched_steps} steps  rmse ratio {ratio:.3}  analysis speedup {speedup:.1}x"
+    );
+
+    Json::obj(vec![
+        ("ens_size", Json::from(8u64)),
+        ("baseline_steps", Json::from(baseline_steps as u64)),
+        ("sweep", Json::Arr(sweep)),
+        ("ensf100_rmse", Json::from(base_rmse)),
+        ("ensf100_analysis_secs", Json::from(base_secs)),
+        ("matched_steps", Json::from(matched_steps as u64)),
+        ("matched_rmse", Json::from(matched_rmse)),
+        ("matched_rmse_ratio", Json::from(ratio)),
+        ("speedup_at_matched_rmse", Json::from(speedup)),
+    ])
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -201,6 +429,15 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_perf.json".to_string());
+    // `--only <section>[,<section>...]` restricts the suite (dev iteration);
+    // skipped sections are omitted from the report entirely, so never commit
+    // a partial report as the gate baseline.
+    let only: Option<Vec<String>> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').map(str::to_string).collect());
+    let wants = |name: &str| only.as_ref().map(|o| o.iter().any(|s| s == name)).unwrap_or(true);
     let reps = if quick { 2 } else { 5 };
 
     header(
@@ -208,18 +445,25 @@ fn main() {
         "Batched EnSF kernel and FFT plan cache performance suite",
     );
 
-    let ensf = bench_ensf(quick, reps);
-    let sqg = bench_sqg(quick, reps);
-    let gemm = bench_gemm(quick, reps);
+    let mut results = Vec::new();
+    if wants("ensf") {
+        results.push(("ensf", bench_ensf(quick, reps)));
+    }
+    if wants("sqg") {
+        results.push(("sqg", bench_sqg(quick, reps)));
+    }
+    if wants("gemm") {
+        results.push(("gemm", bench_gemm(quick, reps)));
+    }
+    if wants("flow") {
+        results.push(("flow", bench_flow(quick)));
+    }
 
     let payload = Json::obj(vec![
         ("id", Json::from("perf_suite")),
         ("quick", Json::Bool(quick)),
         ("reps", Json::from(reps as u64)),
-        (
-            "results",
-            Json::obj(vec![("ensf", ensf), ("sqg", sqg), ("gemm", gemm)]),
-        ),
+        ("results", Json::obj(results)),
     ]);
     telemetry::report::write_json(std::path::Path::new(&out), &payload)
         .unwrap_or_else(|e| panic!("failed to write {out}: {e}"));

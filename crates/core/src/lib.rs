@@ -49,6 +49,6 @@ pub use model_error::{ModelError, ModelErrorConfig};
 pub use surrogate::VitSurrogate;
 pub use osse::ObsOperatorKind;
 pub use traits::{
-    AnalysisScheme, ArctanEnsfScheme, EnsfScheme, ForecastModel, LetkfScheme, NoAssimilation,
-    SparseEnsfScheme,
+    AnalysisScheme, ArctanEnsfScheme, EnsfScheme, FlowMatchingArctanEnsfScheme,
+    FlowMatchingEnsfScheme, ForecastModel, LetkfScheme, NoAssimilation, SparseEnsfScheme,
 };

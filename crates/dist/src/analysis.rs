@@ -21,12 +21,19 @@
 //! from per-`(particle, tile)` streams instead of per-particle streams).
 //! It is a third kernel with the same reassociation-level agreement the
 //! `Reference`/`Batched` pair already share, verified in the tests below.
+//!
+//! With [`AnalysisMethod::FlowMatching`] the same sharded score machinery
+//! drives the deterministic probability-flow (DDIM) update instead of the
+//! stochastic step: no per-step noise draws at all, so the rank-invariance
+//! argument reduces entirely to the fixed-order tile fold, and the
+//! deadline ladder can degrade `n_steps` far more aggressively (the DDIM
+//! map is mean-exact at any step count for linear-Gaussian problems).
 
 use crate::shard::ShardPlan;
 use crate::DistError;
 use ensf::{
-    relax_spread, ArctanObs, DiffusionSchedule, EnsfConfig, IdentityObs, ObservationOperator,
-    ScoreKernel, TimeGrid,
+    relax_spread, AnalysisMethod, ArctanObs, DiffusionSchedule, EnsfConfig, IdentityObs,
+    ObservationOperator, ScoreKernel, TimeGrid,
 };
 use hpc::mpi::Comm;
 use hpc::{collective_with_retry, Collective, RankFault, RetryPolicy, Topology};
@@ -172,6 +179,7 @@ pub struct ShardKernel {
     batch_len: usize,
     schedule: DiffusionSchedule,
     kernel: ScoreKernel,
+    method: AnalysisMethod,
     spread_relaxation: f64,
     /// Forecast mini-batch, per local tile: `J x len` blocks back to back
     /// in batch order (the GEMM `B` operand of each tile).
@@ -182,6 +190,10 @@ pub struct ShardKernel {
     xnorm: Vec<f64>,
     /// Full forecast block (`M x local_len`) for the spread relaxation.
     f_block: Vec<f64>,
+    /// Per-component prior ensemble variance over the score mini-batch
+    /// (`local_len`; flow-matching only, empty for the SDE). Per-variable
+    /// and batch-ordered, so identical for any rank layout.
+    prior_var: Vec<f64>,
     /// Particle block, `P x local_len` row-major.
     z: Vec<f64>,
     /// One RNG per `(particle, local tile)`, indexed `p * n_local + lt`.
@@ -202,6 +214,9 @@ pub struct ShardKernel {
     znorm: Vec<f64>,
     lik: Vec<f64>,
     jsq: Vec<f64>,
+    /// Tweedie denoised estimate `x̂` for one (particle, tile) row
+    /// (flow-matching only).
+    xh: Vec<f64>,
 }
 
 /// RNG stream for one `(particle, tile)` pair of one analysis cycle. Keyed
@@ -293,6 +308,29 @@ impl ShardKernel {
         for m in 0..members {
             f_block.extend_from_slice(&forecast.member(m)[rank_lo..rank_hi]);
         }
+        // Flow-matching guidance needs the per-component prior variance of
+        // the score mini-batch. `f_block` is member-major over the local
+        // block, so the serial helper applies directly; per-variable
+        // statistics in batch order are bitwise rank-layout invariant.
+        let prior_var = match config.method {
+            AnalysisMethod::FlowMatching => {
+                let mut var = ensf::batch_variance(&f_block, members, local_len, &batch);
+                // Variance shrinkage is applied per *global* tile — the
+                // tile grid is fixed by the plan regardless of how tiles
+                // are grouped onto ranks, so the smoothed gains stay
+                // bitwise rank-layout invariant (the serial path smooths
+                // over the whole state instead; the two agree only
+                // statistically, like everything else across the runtimes).
+                for tile in &tiles {
+                    ensf::smooth_variance(
+                        &mut var[tile.off..tile.off + tile.len],
+                        config.variance_smoothing,
+                    );
+                }
+                var
+            }
+            AnalysisMethod::ReverseSde => Vec::new(),
+        };
 
         // Initial N(0, I) fill from the tile-keyed streams, in (particle,
         // tile) order; each stream is consumed only by its own tile, so the
@@ -320,11 +358,13 @@ impl ShardKernel {
             batch_len,
             schedule: config.schedule,
             kernel: config.kernel,
+            method: config.method,
             spread_relaxation: config.spread_relaxation,
             x_tiles,
             x_off,
             xnorm,
             f_block,
+            prior_var,
             z,
             rngs,
             sampler: NormalSampler::new(),
@@ -340,6 +380,7 @@ impl ShardKernel {
             znorm: vec![0.0; members],
             lik: vec![0.0; tile_max],
             jsq: vec![0.0; tile_max],
+            xh: vec![0.0; tile_max],
             tiles,
         }
     }
@@ -475,6 +516,9 @@ impl ShardKernel {
                 1.0
             }
         });
+        // Flow-matching (DDIM) coefficients; unused by the SDE branch.
+        let alpha_next = self.schedule.alpha(t_next);
+        let beta_ratio = (self.schedule.beta_sq(t_next) / beta_sq).sqrt();
 
         let n_local = self.tiles.len();
         for (lt, tile) in self.tiles.iter().enumerate() {
@@ -528,6 +572,36 @@ impl ShardKernel {
 
             let y_tile = &self.y_block[tile.off..tile.off + tile.len];
             let op = &self.ops[lt];
+            if self.method == AnalysisMethod::FlowMatching {
+                // Deterministic probability-flow update, mirroring the
+                // serial `flow_step` elementwise: Tweedie denoising, the
+                // per-component Kalman correction of `x̂`, and the DDIM map
+                // to the next grid point. Consumes no RNG, so the
+                // tile-keyed streams stay at their post-fill state and the
+                // rank-invariance contract reduces to the score fold above.
+                let v_tile = &self.prior_var[tile.off..tile.off + tile.len];
+                let r = self.sigma_obs_sq;
+                for p in 0..p_n {
+                    let zrow = &mut self.z
+                        [p * self.local_len + tile.off..p * self.local_len + tile.off + tile.len];
+                    let srow = &s_t[p * tile.len..(p + 1) * tile.len];
+                    let xh = &mut self.xh[..tile.len];
+                    for ((xi, zi), si) in xh.iter_mut().zip(&*zrow).zip(srow) {
+                        *xi = (*zi + beta_sq * si) / alpha;
+                    }
+                    let lik = &mut self.lik[..tile.len];
+                    op.likelihood_score_into(xh, y_tile, 1.0, lik);
+                    let jsq = &mut self.jsq[..tile.len];
+                    op.jacobian_sq(xh, jsq);
+                    for (k, (zi, xi)) in zrow.iter_mut().zip(&mut *xh).enumerate() {
+                        let v = v_tile[k];
+                        let vh = v * beta_sq / (alpha * alpha * v + beta_sq);
+                        *xi += vh * lik[k] * r / (r + jsq[k] * vh);
+                        *zi = alpha_next * *xi + beta_ratio * (*zi - alpha * *xi);
+                    }
+                }
+                continue;
+            }
             for p in 0..p_n {
                 let zrow = &mut self.z
                     [p * self.local_len + tile.off..p * self.local_len + tile.off + tile.len];
@@ -654,7 +728,14 @@ pub fn dist_analyze(
         kernel.apply_step(win[0], win[1], &full);
     }
     telemetry::counter_add("dist.analyses", 1);
-    telemetry::counter_add("dist.sde_steps", (times.len() - 1) as u64);
+    match config.method {
+        AnalysisMethod::ReverseSde => {
+            telemetry::counter_add("dist.sde_steps", (times.len() - 1) as u64)
+        }
+        AnalysisMethod::FlowMatching => {
+            telemetry::counter_add("dist.flow_steps", (times.len() - 1) as u64)
+        }
+    }
     Ok(kernel.finish())
 }
 
@@ -795,6 +876,173 @@ mod tests {
             full
         };
         assert_eq!(run(1), run(3), "arctan path diverged across rank counts");
+    }
+
+    fn flow_analyze_with_ranks(
+        ranks: usize,
+        kernel: ScoreKernel,
+        tile: usize,
+        n_steps: usize,
+    ) -> Vec<f64> {
+        let dim = 96;
+        let forecast = gaussian_ensemble(6, dim, 11);
+        let y = vec![0.25; dim];
+        let obs = DistObs::Identity { sigma: 0.4 };
+        let config = EnsfConfig {
+            n_steps,
+            seed: 9,
+            kernel,
+            method: AnalysisMethod::FlowMatching,
+            ..Default::default()
+        };
+        let plan = ShardPlan::new(dim, tile, ranks);
+        let blocks = run_world(ranks, |comm| {
+            let mut stats = CommStats::default();
+            dist_analyze(comm, &plan, &config, 0, &forecast, &y, &obs, None, &mut stats).unwrap()
+        });
+        let mut full = vec![0.0; 6 * dim];
+        for (r, block) in blocks.iter().enumerate() {
+            let (lo, hi) = plan.rank_range(r);
+            for p in 0..6 {
+                full[p * dim + lo..p * dim + hi]
+                    .copy_from_slice(&block[p * (hi - lo)..(p + 1) * (hi - lo)]);
+            }
+        }
+        full
+    }
+
+    #[test]
+    fn flow_analysis_is_bitwise_identical_for_any_rank_count() {
+        for kernel in [ScoreKernel::Reference, ScoreKernel::Batched] {
+            let one = flow_analyze_with_ranks(1, kernel, 16, 6);
+            for ranks in [2, 3, 4, 6] {
+                let many = flow_analyze_with_ranks(ranks, kernel, 16, 6);
+                assert_eq!(one, many, "flow {kernel:?} diverged at {ranks} ranks");
+            }
+        }
+    }
+
+    #[test]
+    fn single_step_flow_analysis_stays_finite_and_rank_invariant() {
+        // The deepest deadline-ladder degradation: one DDIM step.
+        let one = flow_analyze_with_ranks(1, ScoreKernel::Batched, 16, 1);
+        assert!(one.iter().all(|v| v.is_finite()));
+        assert_eq!(one, flow_analyze_with_ranks(4, ScoreKernel::Batched, 16, 1));
+    }
+
+    #[test]
+    fn smoothed_flow_variance_stays_rank_layout_invariant() {
+        // Variance shrinkage is folded per global tile, so the smoothed
+        // gains must stay bitwise identical no matter how the tile grid is
+        // split across ranks.
+        let dim = 96;
+        let forecast = gaussian_ensemble(6, dim, 13);
+        let y = vec![0.25; dim];
+        let obs = DistObs::Identity { sigma: 0.4 };
+        let config = EnsfConfig {
+            n_steps: 5,
+            seed: 9,
+            kernel: ScoreKernel::Batched,
+            method: AnalysisMethod::FlowMatching,
+            variance_smoothing: 0.6,
+            ..Default::default()
+        };
+        let run = |ranks: usize| {
+            let plan = ShardPlan::new(dim, 16, ranks);
+            let blocks = run_world(ranks, |comm| {
+                let mut stats = CommStats::default();
+                dist_analyze(comm, &plan, &config, 0, &forecast, &y, &obs, None, &mut stats)
+                    .unwrap()
+            });
+            let mut full = vec![0.0; 6 * dim];
+            for (r, block) in blocks.iter().enumerate() {
+                let (lo, hi) = plan.rank_range(r);
+                for p in 0..6 {
+                    full[p * dim + lo..p * dim + hi]
+                        .copy_from_slice(&block[p * (hi - lo)..(p + 1) * (hi - lo)]);
+                }
+            }
+            full
+        };
+        let one = run(1);
+        assert!(one.iter().all(|v| v.is_finite()));
+        for ranks in [2, 3, 6] {
+            assert_eq!(one, run(ranks), "smoothed flow diverged at {ranks} ranks");
+        }
+    }
+
+    #[test]
+    fn flow_analysis_moves_toward_observation_like_serial() {
+        // Statistical agreement only: the sharded flow starts from
+        // tile-keyed initial fills, the serial one from member-keyed fills,
+        // so individual particles differ while the posterior agrees.
+        let dim = 16;
+        let members = 40;
+        let forecast = gaussian_ensemble(members, dim, 3);
+        let y = vec![2.0; dim];
+        let obs = DistObs::Identity { sigma: 0.3 };
+        let config = EnsfConfig {
+            n_steps: 6,
+            seed: 4,
+            method: AnalysisMethod::FlowMatching,
+            ..Default::default()
+        };
+        let plan = ShardPlan::new(dim, 4, 2);
+        let blocks = run_world(2, |comm| {
+            let mut stats = CommStats::default();
+            dist_analyze(comm, &plan, &config, 0, &forecast, &y, &obs, None, &mut stats).unwrap()
+        });
+        let n_elems: usize = blocks.iter().map(Vec::len).sum();
+        assert_eq!(n_elems, members * dim);
+        let dist_mean: f64 = blocks.iter().flatten().sum::<f64>() / n_elems as f64;
+
+        let mut serial = ensf::Ensf::new(config.clone());
+        let serial_obs = ensf::IdentityObs::new(dim, 0.3);
+        let analysis = serial.analyze(&forecast, &y, &serial_obs);
+        let serial_mean: f64 = analysis.as_slice().iter().sum::<f64>() / (members * dim) as f64;
+
+        let prior_mean: f64 = forecast.as_slice().iter().sum::<f64>() / (members * dim) as f64;
+        assert!(
+            dist_mean > prior_mean + 0.25,
+            "flow analysis mean {dist_mean} did not move toward obs from {prior_mean}"
+        );
+        assert!(dist_mean < 2.4, "flow analysis mean {dist_mean} overshot");
+        assert!(
+            (dist_mean - serial_mean).abs() < 0.1,
+            "distributed flow mean {dist_mean} disagrees with serial flow mean {serial_mean}"
+        );
+    }
+
+    #[test]
+    fn arctan_flow_is_rank_count_invariant() {
+        let dim = 48;
+        let forecast = gaussian_ensemble(5, dim, 21);
+        let y = vec![0.3; dim];
+        let obs = DistObs::Arctan { sigma: 0.3, gain: 1.0 };
+        let config = EnsfConfig {
+            n_steps: 8,
+            seed: 2,
+            method: AnalysisMethod::FlowMatching,
+            ..Default::default()
+        };
+        let run = |ranks: usize| {
+            let plan = ShardPlan::new(dim, 8, ranks);
+            let blocks = run_world(ranks, |comm| {
+                let mut stats = CommStats::default();
+                dist_analyze(comm, &plan, &config, 0, &forecast, &y, &obs, None, &mut stats)
+                    .unwrap()
+            });
+            let mut full = vec![0.0; 5 * dim];
+            for (r, block) in blocks.iter().enumerate() {
+                let (lo, hi) = plan.rank_range(r);
+                for p in 0..5 {
+                    full[p * dim + lo..p * dim + hi]
+                        .copy_from_slice(&block[p * (hi - lo)..(p + 1) * (hi - lo)]);
+                }
+            }
+            full
+        };
+        assert_eq!(run(1), run(3), "arctan flow path diverged across rank counts");
     }
 
     #[test]

@@ -155,9 +155,16 @@ impl BatchScratch {
     /// `j` members and state dimension `dim`.
     pub fn new(b: usize, j: usize, dim: usize) -> Self {
         let mut buffers = GemmScratch::new();
-        // Prewarm so the SDE loop's borrows are allocation-free.
-        let _ = buffers.slices([b * dim, b * j, b, dim, dim]);
+        // Prewarm so the integrator loops' borrows are allocation-free (the
+        // SDE borrows the first five slices, the flow path all six).
+        let _ = buffers.slices([b * dim, b * j, b, dim, dim, dim]);
         BatchScratch { buffers }
+    }
+
+    /// The underlying buffer pool (shared with the flow-matching
+    /// integrator, which borrows the same prewarmed slices).
+    pub(crate) fn buffers_mut(&mut self) -> &mut GemmScratch {
+        &mut self.buffers
     }
 }
 
@@ -257,7 +264,9 @@ pub fn reverse_sde_assimilate_batched<R: Rng>(
 /// task per block, sequential within a block — the rank-decomposition
 /// execution shape). Shared by [`crate::Ensf::analyze`] and
 /// [`crate::parallel::analyze_partitioned`]; spread relaxation is the
-/// caller's job.
+/// caller's job. [`crate::AnalysisMethod::FlowMatching`] configs route each
+/// block through the deterministic probability-flow integrator instead of
+/// the reverse SDE (same initial fill, no further draws).
 pub(crate) fn analyze_blocks(
     config: &EnsfConfig,
     cycle_seed: u64,
@@ -272,6 +281,17 @@ pub(crate) fn analyze_blocks(
     let score = BatchedScore::new(forecast.as_slice(), members, dim, config.schedule, batch);
     let schedule = config.schedule;
     let n_steps = config.n_steps;
+    let method = config.method;
+    // The flow path needs the per-component prior spread of the same batch
+    // the score gathers; computed once, shared read-only by every block.
+    let prior_var = match method {
+        crate::AnalysisMethod::FlowMatching => {
+            let mut var = crate::flow::batch_variance(forecast.as_slice(), members, dim, batch);
+            crate::flow::smooth_variance(&mut var, config.variance_smoothing);
+            var
+        }
+        crate::AnalysisMethod::ReverseSde => Vec::new(),
+    };
 
     let block_results: Vec<(usize, Vec<f64>)> = blocks
         .par_iter()
@@ -285,17 +305,33 @@ pub(crate) fn analyze_blocks(
                 fill_standard_normal(rng, row);
             }
             let mut scratch = BatchScratch::new(b, score.batch_len(), dim);
-            reverse_sde_assimilate_batched(
-                &mut block,
-                &schedule,
-                n_steps,
-                TimeGrid::LogSpaced,
-                &score,
-                obs,
-                y,
-                &mut rngs,
-                &mut scratch,
-            );
+            match method {
+                crate::AnalysisMethod::ReverseSde => reverse_sde_assimilate_batched(
+                    &mut block,
+                    &schedule,
+                    n_steps,
+                    TimeGrid::LogSpaced,
+                    &score,
+                    obs,
+                    y,
+                    &mut rngs,
+                    &mut scratch,
+                ),
+                crate::AnalysisMethod::FlowMatching => {
+                    crate::flow::probability_flow_assimilate_batched(
+                        &mut block,
+                        b,
+                        &schedule,
+                        n_steps,
+                        TimeGrid::LogSpaced,
+                        &score,
+                        &prior_var,
+                        obs,
+                        y,
+                        &mut scratch,
+                    )
+                }
+            }
             (start, block)
         })
         .collect();

@@ -1,0 +1,644 @@
+//! Probability-flow ODE integration: the flow-matching analysis path.
+//!
+//! The reverse-time SDE (Eq. 7, [`crate::reverse_sde_assimilate`]) and the
+//! **probability-flow ODE**
+//!
+//! ```text
+//! dZ = [ b(t) Z − ½ σ²(t) s(Z, t) ] dt
+//! ```
+//!
+//! share the same marginals at every pseudo-time (Song et al.; Transue et
+//! al., "Flow Matching for Efficient and Scalable Data Assimilation",
+//! arXiv:2508.13313): the ODE transports the same `N(0, I)` start to the
+//! same posterior, but *deterministically*. That buys the analysis two
+//! things:
+//!
+//! 1. **Few-step integration.** Without per-step noise injection the only
+//!    error source is the drift discretization, so the two-sided log grid
+//!    ([`TimeGrid::LogSpaced`]) reaches the accuracy of the 100-step SDE in
+//!    ~5–10 steps: each analysis costs proportionally fewer score GEMMs.
+//! 2. **A smaller determinism surface.** Particles consume *no* RNG draws
+//!    beyond the initial Gaussian fill, so the member-keyed (serial) and
+//!    tile-keyed (sharded) stream contracts hold trivially and rank-count
+//!    bitwise invariance reduces to the fixed-order score fold that
+//!    [`BatchedScore`] and the dist kernel already guarantee.
+//!
+//! ## Observation guidance: why the flow cannot reuse the SDE's pull
+//!
+//! The stochastic path adds the *damped analytic likelihood score*
+//! `h(t) ∇ log p(y | z)` to the prior score (Eq. 17). That surrogate is
+//! **not** the score of the diffused posterior — it evaluates the
+//! likelihood at the noisy state `z` instead of the clean state and ramps
+//! it with an ad-hoc damping. The SDE tolerates the mismatch because its
+//! per-step noise keeps re-mixing the marginal toward the true one; the
+//! noiseless ODE integrates the same error *coherently* and converges to a
+//! visibly biased posterior even on an infinitely fine grid (Gaussian
+//! prior `N(0,1)`, identity obs with `r = 0.25`, `y = 1.5`: Kalman mean
+//! 1.20, SDE ≈ 1.20, naive flow ≈ 1.56 — a 30% overshoot that refinement
+//! does not cure).
+//!
+//! The flow therefore derives its pull from the **denoised estimate**
+//! (Tweedie's formula), in the style of diffusion-posterior sampling:
+//!
+//! ```text
+//! x̂_i  = (z_i + β²(t) s_i(z, t)) / α(t)     (E[x | z], free given s)
+//! V_i  = α² v_i + β²                         (diffused prior variance)
+//! v̂_i = v_i β² / V_i                         (Var[x_i | z])
+//! x̂⁺_i = x̂_i + v̂_i J_i(x̂) (y_i − h_i(x̂)) / (r + J_i² v̂_i)
+//! ```
+//!
+//! where `v_i` is the per-component prior ensemble variance and
+//! `r = σ_obs²`. The correction is a per-component Kalman update of the
+//! denoised estimate with the denoiser's residual uncertainty `v̂_i` as
+//! the prior: a *convex* move of `h(x̂)` toward `y` in observation space,
+//! so it is unconditionally stable — no damping profile, no relaxation
+//! factor. `v̂_i` ramps from `v_i` at `t ≈ 1` (full Kalman pull while `x̂`
+//! is still mostly prior mean) to `0` at `t = 0` (the endpoint is pinned).
+//!
+//! ## Discretization
+//!
+//! The guided denoiser is integrated with the **DDIM map** (the
+//! exponential-integrator discretization of the PF-ODE in the
+//! `(x̂, noise-direction)` frame):
+//!
+//! ```text
+//! z ← α(t′) x̂⁺ + (β(t′)/β(t)) (z − α(t) x̂⁺)
+//! ```
+//!
+//! For a Gaussian target with the exact score this map reproduces the
+//! posterior **mean exactly at any step count** — including a single step
+//! — because the flow map of a linear ODE is affine and the DDIM
+//! coefficients solve it in closed form. (The naive explicit-Euler score
+//! step instead leaves a few percent of the `N(0, I)` start untransported
+//! on coarse grids, which swamps a posterior living at scale `10⁻²`.)
+//! Few-step analyses are therefore mean-accurate but under-dispersed; the
+//! ensemble spread is restored by the same [`crate::relax_spread`]
+//! safeguard the SDE path already runs, exactly as the SDE relies on it
+//! to undo its own obs-pinning overdispersion correction.
+
+use crate::batch::{BatchScratch, BatchedScore};
+use crate::obs::ObservationOperator;
+use crate::schedule::DiffusionSchedule;
+use crate::sde::TimeGrid;
+
+/// Per-component sample variance over `batch` members of a member-major
+/// ensemble buffer (divisor `J − 1`; all zeros when the batch has fewer
+/// than two members).
+///
+/// This is the `v_i` the flow-matching guidance needs. The accumulation
+/// order is the batch order, so the result is deterministic and — because
+/// the batch is shared by every particle block — identical regardless of
+/// how particles are partitioned over blocks, tiles or ranks.
+///
+/// # Panics
+/// Panics on a shape mismatch or an out-of-range batch index.
+pub fn batch_variance(ensemble: &[f64], members: usize, dim: usize, batch: &[usize]) -> Vec<f64> {
+    assert_eq!(ensemble.len(), members * dim, "ensemble buffer shape mismatch");
+    assert!(batch.iter().all(|&j| j < members), "batch index out of range");
+    let j = batch.len();
+    let mut var = vec![0.0; dim];
+    if j < 2 {
+        return var;
+    }
+    let mut mean = vec![0.0; dim];
+    for &m in batch {
+        let row = &ensemble[m * dim..(m + 1) * dim];
+        for (mu, x) in mean.iter_mut().zip(row) {
+            *mu += x;
+        }
+    }
+    let inv = 1.0 / j as f64;
+    for mu in &mut mean {
+        *mu *= inv;
+    }
+    for &m in batch {
+        let row = &ensemble[m * dim..(m + 1) * dim];
+        for ((v, x), mu) in var.iter_mut().zip(row).zip(&mean) {
+            let d = x - mu;
+            *v += d * d;
+        }
+    }
+    let inv1 = 1.0 / (j - 1) as f64;
+    for v in &mut var {
+        *v *= inv1;
+    }
+    var
+}
+
+/// Shrinks a per-component variance estimate toward its mean in place:
+/// `v_i ← (1 − γ) v_i + γ v̄` with `v̄` the arithmetic mean over `var`.
+///
+/// With `J` ensemble members the raw per-component sample variance carries
+/// `≈ √(2/(J − 1))` relative noise, and that noise feeds straight into the
+/// flow-matching Kalman gain `v̂/(r + J² v̂)` — for small ensembles it costs
+/// a visible fraction of the analysis accuracy. For statistically
+/// homogeneous turbulence the spatial mean estimates the same variance
+/// from `d·(J − 1)` samples instead of `J − 1`, so blending toward it
+/// (`γ = 1` replaces the estimate outright) trades spatial heterogeneity
+/// for estimator noise. The mean is accumulated in slice order, so the
+/// result only depends on the slice contents — callers that shard the
+/// state must smooth over a partition-independent extent (the distributed
+/// kernel smooths within its fixed score tiles).
+///
+/// `γ = 0` (the [`crate::EnsfConfig`] default) and an empty slice are
+/// exact no-ops.
+pub fn smooth_variance(var: &mut [f64], gamma: f64) {
+    if gamma <= 0.0 || var.is_empty() {
+        return;
+    }
+    let mean = var.iter().sum::<f64>() / var.len() as f64;
+    for v in var.iter_mut() {
+        *v = (1.0 - gamma) * *v + gamma * mean;
+    }
+}
+
+/// Integrates one particle of the probability-flow ODE in place.
+///
+/// Deterministic counterpart of [`crate::reverse_sde_assimilate`]: same
+/// grid and exponential linear step, with the denoised-estimate guidance
+/// described in the module docs in place of the SDE's damped likelihood
+/// pull — no RNG parameter because the flow consumes no noise.
+///
+/// * `z` — on entry a sample of `N(0, I)`; on exit a posterior sample.
+/// * `prior_var` — per-component prior ensemble variance `v_i`
+///   ([`batch_variance`] over the same members the score uses).
+/// * `prior_score` — callback `(z, t, out)` writing the prior score.
+/// * `obs`, `y` — observation operator and observation vector.
+///
+/// # Panics
+/// Panics when `prior_var` does not match the state dimension.
+#[allow(clippy::too_many_arguments)]
+pub fn probability_flow_assimilate(
+    z: &mut [f64],
+    schedule: &DiffusionSchedule,
+    n_steps: usize,
+    grid: TimeGrid,
+    prior_var: &[f64],
+    mut prior_score: impl FnMut(&[f64], f64, &mut [f64]),
+    obs: &impl ObservationOperator,
+    y: &[f64],
+) {
+    let dim = z.len();
+    assert_eq!(prior_var.len(), dim, "prior variance shape mismatch");
+    let times = grid.points(schedule, n_steps);
+    telemetry::counter_add("ensf.flow.ode_steps", (times.len() - 1) as u64);
+    let mut s = vec![0.0; dim];
+    let mut xh = vec![0.0; dim];
+    let mut lik = vec![0.0; dim];
+    let mut jsq = vec![1.0; dim];
+    let r = obs.sigma() * obs.sigma();
+
+    for w in times.windows(2) {
+        let t = w[0];
+        let t_next = w[1];
+        prior_score(z, t, &mut s);
+        flow_step(z, &s, &mut xh, &mut lik, &mut jsq, prior_var, obs, y, r, schedule, t, t_next);
+    }
+}
+
+/// One flow step for one particle: Tweedie denoising, the per-component
+/// Kalman correction of the denoised estimate, and the DDIM map to the
+/// next grid point. Shared verbatim by the reference and batched
+/// integrators so they agree operation for operation.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn flow_step(
+    z: &mut [f64],
+    s: &[f64],
+    xh: &mut [f64],
+    lik: &mut [f64],
+    jsq: &mut [f64],
+    prior_var: &[f64],
+    obs: &impl ObservationOperator,
+    y: &[f64],
+    r: f64,
+    schedule: &DiffusionSchedule,
+    t: f64,
+    t_next: f64,
+) {
+    let alpha = schedule.alpha(t);
+    let beta_sq = schedule.beta_sq(t);
+    let alpha_next = schedule.alpha(t_next);
+    // Noise-direction carry-over β(t′)/β(t) of the DDIM map.
+    let beta_ratio = (schedule.beta_sq(t_next) / beta_sq).sqrt();
+
+    // Tweedie denoising: x̂ = E[x | z] = (z + β² s)/α, elementwise from the
+    // score already in hand — no extra ensemble pass.
+    for ((xi, zi), si) in xh.iter_mut().zip(&*z).zip(s) {
+        *xi = (*zi + beta_sq * si) / alpha;
+    }
+    // `lik_i = J_i(x̂) (y_i − h_i(x̂)) / r`, rescaled per component below to
+    // the moment-matched denominator `r + J_i² v̂_i`.
+    obs.likelihood_score_into(xh, y, 1.0, lik);
+    obs.jacobian_sq(xh, jsq);
+
+    for (k, (zi, xi)) in z.iter_mut().zip(&mut *xh).enumerate() {
+        let v = prior_var[k];
+        let big_v = alpha * alpha * v + beta_sq;
+        let vh = v * beta_sq / big_v; // Var[x | z]: the denoiser's residual spread
+        // Kalman update of x̂ toward the observation: a convex move in obs
+        // space (|J Δx̂| ≤ |y − h(x̂)|), unconditionally stable.
+        *xi += vh * lik[k] * r / (r + jsq[k] * vh);
+        // DDIM: re-noise the guided denoised estimate to the next level.
+        *zi = alpha_next * *xi + beta_ratio * (*zi - alpha * *xi);
+    }
+}
+
+/// Batched counterpart of [`probability_flow_assimilate`]: integrates a
+/// whole block of `b` particles through the probability-flow ODE
+/// step-major, evaluating the prior score for all of them at once via
+/// [`BatchedScore`] — the same two-GEMM score machinery the stochastic
+/// path uses, minus the noise stream.
+///
+/// * `z` — `b x dim` row-major block; each row a sample of `N(0, I)` on
+///   entry, a posterior sample on exit.
+/// * `prior_var` — per-component prior variance of the score batch
+///   ([`batch_variance`] over the same members `score` gathered).
+///
+/// Per particle this replicates [`probability_flow_assimilate`] operation
+/// for operation, so the two paths agree to floating-point reassociation
+/// (the same contract the SDE pair has). No RNG parameter: after the
+/// caller's initial fill the integration is a pure function of the block.
+// lint: no_alloc
+#[allow(clippy::too_many_arguments)]
+pub fn probability_flow_assimilate_batched(
+    z: &mut [f64],
+    b: usize,
+    schedule: &DiffusionSchedule,
+    n_steps: usize,
+    grid: TimeGrid,
+    score: &BatchedScore,
+    prior_var: &[f64],
+    obs: &impl ObservationOperator,
+    y: &[f64],
+    scratch: &mut BatchScratch,
+) {
+    let dim = score.dim();
+    let j = score.batch_len();
+    assert_eq!(z.len(), b * dim, "particle block shape mismatch");
+    assert_eq!(prior_var.len(), dim, "prior variance shape mismatch");
+    let times = grid.points(schedule, n_steps);
+    telemetry::counter_add("ensf.flow.ode_steps", ((times.len() - 1) * b) as u64);
+    let r = obs.sigma() * obs.sigma();
+    let [s, w, znorm, xh, lik, jsq] =
+        scratch.buffers_mut().slices([b * dim, b * j, b, dim, dim, dim]);
+
+    for win in times.windows(2) {
+        let t = win[0];
+        let t_next = win[1];
+        score.score_block_into(z, b, t, s, w, znorm);
+        for i in 0..b {
+            let zrow = &mut z[i * dim..(i + 1) * dim];
+            let srow = &s[i * dim..(i + 1) * dim];
+            flow_step(zrow, srow, xh, lik, jsq, prior_var, obs, y, r, schedule, t, t_next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::IdentityObs;
+    use stats::gaussian::{fill_standard_normal, standard_normal};
+    use stats::rng::seeded;
+
+    /// With the *analytic* posterior ingredients (Gaussian prior score +
+    /// identity observation) the flow must transport N(0, I) to the
+    /// Kalman posterior — in a handful of steps.
+    #[test]
+    fn few_step_flow_reaches_gaussian_posterior() {
+        let sch = DiffusionSchedule::new(1e-4);
+        let m_prior = 0.0f64;
+        let v_prior = 1.0f64;
+        let sigma_obs = 0.5f64;
+        let y = vec![1.5];
+        let obs = IdentityObs::new(1, sigma_obs);
+        // Kalman: posterior mean = v/(v+r) * y with r = sigma_obs^2.
+        let want_mean = v_prior / (v_prior + sigma_obs * sigma_obs) * y[0];
+
+        for steps in [5, 10] {
+            let mut rng = seeded(7);
+            let n = 2000;
+            let mut mean = 0.0;
+            for _ in 0..n {
+                let mut z = vec![standard_normal(&mut rng)];
+                probability_flow_assimilate(
+                    &mut z,
+                    &sch,
+                    steps,
+                    TimeGrid::LogSpaced,
+                    &[v_prior],
+                    |z, t, out| {
+                        let a = sch.alpha(t);
+                        let var = a * a * v_prior + sch.beta_sq(t);
+                        out[0] = -(z[0] - a * m_prior) / var;
+                    },
+                    &obs,
+                    &y,
+                );
+                assert!(z[0].is_finite());
+                mean += z[0];
+            }
+            mean /= n as f64;
+            assert!(
+                (mean - want_mean).abs() < 0.15,
+                "{steps}-step flow mean {mean} vs Kalman {want_mean}"
+            );
+        }
+    }
+
+    /// On a fine grid the guided flow recovers the full Kalman posterior:
+    /// mean *and* variance, the property the naive damped-likelihood flow
+    /// provably lacks (it converges to a biased endpoint).
+    #[test]
+    fn fine_grid_flow_matches_kalman_posterior() {
+        let sch = DiffusionSchedule::new(1e-4);
+        let v_prior = 1.0f64;
+        let sigma_obs = 0.5f64;
+        let y = vec![1.5];
+        let obs = IdentityObs::new(1, sigma_obs);
+        let r = sigma_obs * sigma_obs;
+        let want_mean = v_prior / (v_prior + r) * y[0];
+        let want_var = v_prior * r / (v_prior + r);
+
+        let mut rng = seeded(11);
+        let n = 4000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let mut z = vec![standard_normal(&mut rng)];
+            probability_flow_assimilate(
+                &mut z,
+                &sch,
+                100,
+                TimeGrid::LogSpaced,
+                &[v_prior],
+                |z, t, out| {
+                    let a = sch.alpha(t);
+                    let var = a * a * v_prior + sch.beta_sq(t);
+                    out[0] = -z[0] / var;
+                },
+                &obs,
+                &y,
+            );
+            sum += z[0];
+            sum_sq += z[0] * z[0];
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!((mean - want_mean).abs() < 0.05, "flow mean {mean} vs Kalman {want_mean}");
+        assert!((var - want_var).abs() < 0.05, "flow var {var} vs Kalman {want_var}");
+    }
+
+    /// The flow is a pure function of its inputs: no hidden RNG anywhere.
+    #[test]
+    fn flow_is_deterministic_without_any_rng() {
+        let sch = DiffusionSchedule::default();
+        let obs = IdentityObs::new(3, 0.4);
+        let y = vec![0.5, -0.5, 1.0];
+        let run = || {
+            let mut z = vec![0.3, -0.7, 1.9];
+            probability_flow_assimilate(
+                &mut z,
+                &sch,
+                8,
+                TimeGrid::LogSpaced,
+                &[1.0, 0.5, 2.0],
+                |_, _, out| out.fill(0.0),
+                &obs,
+                &y,
+            );
+            z
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// Batched and reference flow integrators agree to reassociation on
+    /// identical blocks (the same contract the SDE pair has).
+    #[test]
+    fn batched_flow_matches_reference_flow() {
+        let (members, dim, b, n_steps) = (7, 11, 5, 8);
+        let mut rng = seeded(31);
+        let mut ens = vec![0.0; members * dim];
+        fill_standard_normal(&mut rng, &mut ens);
+        let sch = DiffusionSchedule::default();
+        let batch: Vec<usize> = (0..members).collect();
+        let score = BatchedScore::new(&ens, members, dim, sch, &batch);
+        let prior_var = batch_variance(&ens, members, dim, &batch);
+        let reference = crate::score::ScoreEstimator::new(&ens, members, dim, sch);
+        let obs = IdentityObs::new(dim, 0.6);
+        let y = vec![0.3; dim];
+
+        let mut z0 = vec![0.0; b * dim];
+        fill_standard_normal(&mut rng, &mut z0);
+
+        let mut zb = z0.clone();
+        let mut scratch = BatchScratch::new(b, members, dim);
+        probability_flow_assimilate_batched(
+            &mut zb,
+            b,
+            &sch,
+            n_steps,
+            TimeGrid::LogSpaced,
+            &score,
+            &prior_var,
+            &obs,
+            &y,
+            &mut scratch,
+        );
+
+        let mut zr = z0;
+        for row in zr.chunks_exact_mut(dim) {
+            let mut buf = vec![0.0; members];
+            probability_flow_assimilate(
+                row,
+                &sch,
+                n_steps,
+                TimeGrid::LogSpaced,
+                &prior_var,
+                |z, t, out| {
+                    reference.score_into(z, t, out, &mut buf);
+                },
+                &obs,
+                &y,
+            );
+        }
+        for (a, r) in zb.iter().zip(&zr) {
+            assert!((a - r).abs() < 1e-10 * (1.0 + r.abs()), "{a} vs {r}");
+        }
+    }
+
+    /// Tight observations must not blow up: the relaxation factor keeps the
+    /// guidance bounded across twelve orders of magnitude of `σ_obs`.
+    #[test]
+    fn flow_stable_for_tight_observations() {
+        let sch = DiffusionSchedule::default();
+        let y = vec![2.0];
+        for sigma_obs in [1e-6, 1e-3, 1.0, 1e3] {
+            let obs = IdentityObs::new(1, sigma_obs);
+            let mut z = vec![-5.0];
+            probability_flow_assimilate(
+                &mut z,
+                &sch,
+                5,
+                TimeGrid::LogSpaced,
+                &[1.0],
+                |z, t, out| {
+                    let a = sch.alpha(t);
+                    let var = a * a + sch.beta_sq(t);
+                    out[0] = -z[0] / var;
+                },
+                &obs,
+                &y,
+            );
+            assert!(z[0].is_finite(), "blow-up at sigma_obs = {sigma_obs}");
+            assert!(z[0].abs() < 10.0, "overshoot at sigma_obs = {sigma_obs}: {}", z[0]);
+        }
+    }
+
+    /// A tight observation actually *pins* the flow endpoint on the
+    /// observation (the guidance reaches the full Kalman gain at t → 0).
+    #[test]
+    fn tight_observation_pins_endpoint() {
+        let sch = DiffusionSchedule::new(1e-4);
+        let obs = IdentityObs::new(1, 1e-2);
+        let y = vec![2.0];
+        let mut rng = seeded(5);
+        let n = 500;
+        let mut mean = 0.0;
+        for _ in 0..n {
+            let mut z = vec![standard_normal(&mut rng)];
+            probability_flow_assimilate(
+                &mut z,
+                &sch,
+                10,
+                TimeGrid::LogSpaced,
+                &[1.0],
+                |z, t, out| {
+                    let a = sch.alpha(t);
+                    let var = a * a + sch.beta_sq(t);
+                    out[0] = -z[0] / var;
+                },
+                &obs,
+                &y,
+            );
+            mean += z[0];
+        }
+        mean /= n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "tight-obs flow mean {mean} should sit on y = 2");
+    }
+
+    /// Step refinement converges *in distribution*: the posterior mean is
+    /// exact at every step count (the DDIM map solves the linear flow in
+    /// closed form), while the sample variance grows monotonically from
+    /// the under-dispersed few-step regime toward the Kalman variance.
+    #[test]
+    fn step_refinement_converges_in_distribution() {
+        let sch = DiffusionSchedule::new(1e-4);
+        let sigma_obs = 0.7f64;
+        let obs = IdentityObs::new(1, sigma_obs);
+        let y = vec![0.8];
+        let r = sigma_obs * sigma_obs;
+        let want_mean = 1.0 / (1.0 + r) * y[0];
+        let want_var = r / (1.0 + r);
+
+        let moments = |steps: usize| {
+            let mut rng = seeded(23);
+            let n = 2000;
+            let (mut sum, mut sum_sq) = (0.0, 0.0);
+            for _ in 0..n {
+                let mut z = vec![standard_normal(&mut rng)];
+                probability_flow_assimilate(
+                    &mut z,
+                    &sch,
+                    steps,
+                    TimeGrid::LogSpaced,
+                    &[1.0],
+                    |z, t, out| {
+                        let a = sch.alpha(t);
+                        let var = a * a + sch.beta_sq(t);
+                        out[0] = -z[0] / var;
+                    },
+                    &obs,
+                    &y,
+                );
+                sum += z[0];
+                sum_sq += z[0] * z[0];
+            }
+            let mean = sum / n as f64;
+            (mean, sum_sq / n as f64 - mean * mean)
+        };
+
+        let counts = [1usize, 4, 16, 100];
+        let mv: Vec<(f64, f64)> = counts.iter().map(|&n| moments(n)).collect();
+        for (&steps, &(mean, _)) in counts.iter().zip(&mv) {
+            assert!(
+                (mean - want_mean).abs() < 0.06,
+                "{steps}-step flow mean {mean} vs Kalman {want_mean}"
+            );
+        }
+        for w in mv.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 0.02, "variance not monotone: {} then {}", w[0].1, w[1].1);
+        }
+        let (_, fine_var) = mv[counts.len() - 1];
+        assert!((fine_var - want_var).abs() < 0.05, "100-step var {fine_var} vs {want_var}");
+    }
+
+    /// `batch_variance` matches `Ensemble::variance` on the full batch and
+    /// restricts correctly to a sub-batch.
+    #[test]
+    fn batch_variance_matches_ensemble_variance() {
+        let (members, dim) = (9, 4);
+        let mut rng = seeded(17);
+        let mut buf = vec![0.0; members * dim];
+        fill_standard_normal(&mut rng, &mut buf);
+        let full: Vec<usize> = (0..members).collect();
+        let got = batch_variance(&buf, members, dim, &full);
+        let members_vec: Vec<Vec<f64>> =
+            buf.chunks_exact(dim).map(|r| r.to_vec()).collect();
+        let ens = stats::Ensemble::from_members(&members_vec);
+        for (a, b) in got.iter().zip(ens.variance()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        // Sub-batch: only the chosen members contribute.
+        let sub = batch_variance(&buf, members, dim, &[0, 2, 5]);
+        let sub_members: Vec<Vec<f64>> =
+            [0usize, 2, 5].iter().map(|&m| members_vec[m].clone()).collect();
+        let sub_ens = stats::Ensemble::from_members(&sub_members);
+        for (a, b) in sub.iter().zip(sub_ens.variance()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        // Degenerate single-member batch: zero variance, no NaN.
+        assert!(batch_variance(&buf, members, dim, &[3]).iter().all(|v| *v == 0.0)); // lint: allow(float-exact-compare, reason="degenerate batch must return exact zeros")
+    }
+
+    /// `smooth_variance` endpoints: γ = 0 is a bitwise no-op, γ = 1 makes
+    /// the estimate uniform at the mean, and intermediate γ blends while
+    /// preserving the mean.
+    #[test]
+    fn smooth_variance_blends_toward_the_mean() {
+        let original = vec![1.0, 2.0, 3.0, 6.0];
+        let mean = 3.0;
+
+        let mut var = original.clone();
+        smooth_variance(&mut var, 0.0);
+        assert_eq!(var, original, "gamma=0 must be a no-op");
+
+        let mut var = original.clone();
+        smooth_variance(&mut var, 1.0);
+        for v in &var {
+            assert!((v - mean).abs() < 1e-12, "gamma=1 must be uniform at the mean, got {v}");
+        }
+
+        let mut var = original.clone();
+        smooth_variance(&mut var, 0.5);
+        for (v, o) in var.iter().zip(&original) {
+            assert!((v - 0.5 * (o + mean)).abs() < 1e-12);
+        }
+        let blended_mean = var.iter().sum::<f64>() / var.len() as f64;
+        assert!((blended_mean - mean).abs() < 1e-12, "shrinkage preserves the mean");
+
+        // Empty slice: no panic.
+        smooth_variance(&mut [], 1.0);
+    }
+}

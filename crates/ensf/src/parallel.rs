@@ -95,6 +95,17 @@ pub fn analyze_partitioned(
                 ScoreEstimator::new(forecast.as_slice(), members, dim, config.schedule);
             let schedule = config.schedule;
             let n_steps = config.n_steps;
+            let method = config.method;
+            let prior_var = match method {
+                crate::AnalysisMethod::FlowMatching => {
+                    let full: Vec<usize> = (0..members).collect();
+                    let mut var =
+                        crate::flow::batch_variance(forecast.as_slice(), members, dim, &full);
+                    crate::flow::smooth_variance(&mut var, config.variance_smoothing);
+                    var
+                }
+                crate::AnalysisMethod::ReverseSde => Vec::new(),
+            };
 
             let mut analysis = Ensemble::zeros(members, dim);
 
@@ -110,18 +121,34 @@ pub fn analyze_partitioned(
                         let out = &mut block[local * dim..(local + 1) * dim];
                         let mut rng = member_rng(cycle_seed, m);
                         fill_standard_normal(&mut rng, out);
-                        reverse_sde_assimilate(
-                            out,
-                            &schedule,
-                            n_steps,
-                            TimeGrid::LogSpaced,
-                            |z, t, s| {
-                                estimator.score_into(z, t, s, &mut scratch);
-                            },
-                            obs,
-                            y,
-                            &mut rng,
-                        );
+                        match method {
+                            crate::AnalysisMethod::ReverseSde => reverse_sde_assimilate(
+                                out,
+                                &schedule,
+                                n_steps,
+                                TimeGrid::LogSpaced,
+                                |z, t, s| {
+                                    estimator.score_into(z, t, s, &mut scratch);
+                                },
+                                obs,
+                                y,
+                                &mut rng,
+                            ),
+                            crate::AnalysisMethod::FlowMatching => {
+                                crate::flow::probability_flow_assimilate(
+                                    out,
+                                    &schedule,
+                                    n_steps,
+                                    TimeGrid::LogSpaced,
+                                    &prior_var,
+                                    |z, t, s| {
+                                        estimator.score_into(z, t, s, &mut scratch);
+                                    },
+                                    obs,
+                                    y,
+                                )
+                            }
+                        }
                     }
                     (start, block)
                 })

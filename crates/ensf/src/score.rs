@@ -59,6 +59,11 @@ impl<'a> ScoreEstimator<'a> {
         self.batch.len()
     }
 
+    /// Indices of the Monte-Carlo batch (in summation order).
+    pub fn batch(&self) -> &[usize] {
+        &self.batch
+    }
+
     /// Evaluates the estimated prior score at `(z, t)`, writing into `out`,
     /// and returns the batch log-normalizer (useful for diagnostics).
     ///

@@ -1,6 +1,8 @@
 //! Property-based tests for the Ensemble Score Filter.
 
-use ensf::{DiffusionSchedule, Ensf, EnsfConfig, IdentityObs, ScoreEstimator, TimeGrid};
+use ensf::{
+    AnalysisMethod, DiffusionSchedule, Ensf, EnsfConfig, IdentityObs, ScoreEstimator, TimeGrid,
+};
 use proptest::prelude::*;
 use stats::Ensemble;
 
@@ -37,6 +39,54 @@ proptest! {
             prop_assert_eq!(*pts.last().unwrap(), 0.0);
             for w in pts.windows(2) {
                 prop_assert!(w[1] < w[0]);
+            }
+        }
+    }
+
+    /// The few-step flow grid hits the schedule endpoints *bitwise*: the
+    /// first score evaluation sits exactly at `1 − ε` and the integration
+    /// terminates exactly at `0`, for every step count the deadline
+    /// ladder's degraded modes can pick. Float comparison by `to_bits` —
+    /// any drift here would silently break the flow path's cross-rank
+    /// bitwise-invariance contract.
+    #[test]
+    fn few_step_grid_endpoints_bitwise_exact(n in 1usize..=100, eps in 1e-6f64..0.3) {
+        let s = DiffusionSchedule::new(eps);
+        for grid in [TimeGrid::LogSpaced, TimeGrid::Uniform] {
+            let pts = grid.points(&s, n);
+            prop_assert_eq!(pts[0].to_bits(), (1.0 - eps).to_bits());
+            prop_assert_eq!(pts.last().unwrap().to_bits(), 0.0f64.to_bits());
+        }
+    }
+
+    /// Flow-matching analyses obey the same invariants as the SDE path —
+    /// shape, finiteness, relaxed spread — at any few-step count,
+    /// including the degenerate single-step grid.
+    #[test]
+    fn flow_analysis_invariants(
+        ens in ensemble_strategy(8, 5),
+        obs_val in -3.0f64..3.0,
+        sigma in 0.05f64..5.0,
+        steps in 1usize..12,
+    ) {
+        let obs = IdentityObs::new(5, sigma);
+        let y = vec![obs_val; 5];
+        let mut filter = Ensf::new(EnsfConfig {
+            n_steps: steps,
+            seed: 77,
+            spread_relaxation: 1.0,
+            method: AnalysisMethod::FlowMatching,
+            ..Default::default()
+        });
+        let an = filter.analyze(&ens, &y, &obs);
+        prop_assert_eq!(an.members(), 8);
+        prop_assert_eq!(an.dim(), 5);
+        prop_assert!(an.as_slice().iter().all(|v| v.is_finite()));
+        let vf = ens.variance();
+        let va = an.variance();
+        for (a, f) in va.iter().zip(&vf) {
+            if f.sqrt() > 1e-8 {
+                prop_assert!((a.sqrt() - f.sqrt()).abs() < 1e-6 * (1.0 + f.sqrt()));
             }
         }
     }

@@ -6,12 +6,15 @@
 //! be bit-identical, and a corrupted checkpoint that must be rejected.
 
 use sqg_da::da_core::osse::{nature_run, run_experiment, OsseConfig};
+use sqg_da::da_core::AnalysisScheme;
 use sqg_da::da_core::resilience::{
     resume_supervised, run_supervised, AnalysisFault, Checkpoint, CheckpointConfig,
     CheckpointError, FaultPlan, HealthPolicy, LoopState, MemberFault, MemberFaultKind,
     ObsFault, ResilienceConfig,
 };
-use sqg_da::da_core::{EnsfScheme, LetkfScheme, NoAssimilation, SqgForecast};
+use sqg_da::da_core::{
+    EnsfScheme, FlowMatchingEnsfScheme, LetkfScheme, NoAssimilation, SqgForecast,
+};
 use sqg_da::ensf::EnsfConfig;
 use sqg_da::letkf::LetkfConfig;
 use sqg_da::sqg::SqgParams;
@@ -136,6 +139,67 @@ fn chaos_run_completes_and_beats_free_run() {
     assert!(
         run.series.steady_rmse() < free.steady_rmse(),
         "chaos DA {} must beat free run {}",
+        run.series.steady_rmse(),
+        free.steady_rmse()
+    );
+}
+
+/// The supervised retry/fallback ladder treats the flow-matching scheme
+/// exactly like EnSF: scripted analysis failures burn the retry budget
+/// (each retry reseeds the flow's initial-fill streams — the *only* RNG
+/// the deterministic ODE consumes), then the LETKF fallback takes the
+/// cycle, and the run still completes every cycle and beats the free run.
+#[test]
+fn flow_matching_chaos_run_retries_and_falls_back() {
+    let cfg = chaos_config(12, 31);
+    let nr = nature_run(&cfg);
+    let dim = nr.truth[0].len();
+
+    let res = ResilienceConfig {
+        plan: FaultPlan {
+            analysis_faults: vec![AnalysisFault { cycle: 5, failures: 9 }],
+            ..FaultPlan::none()
+        },
+        health: Some(HealthPolicy {
+            spread_floor: 0.02 * cfg.obs_sigma,
+            ..HealthPolicy::for_obs_sigma(cfg.obs_sigma)
+        }),
+        ..Default::default()
+    };
+
+    let mut model = SqgForecast::perfect(cfg.params.clone());
+    let mut scheme = FlowMatchingEnsfScheme::new(
+        EnsfConfig { n_steps: 8, seed: cfg.seed ^ 0xE45F, ..Default::default() },
+        dim,
+        cfg.obs_sigma,
+    );
+    assert_eq!(scheme.name(), "FlowEnSF");
+    let mut fallback = LetkfScheme::new(LetkfConfig::default(), &cfg.params, cfg.obs_sigma);
+    let run = run_supervised(
+        "flow-chaos",
+        &cfg,
+        &res,
+        &nr,
+        &mut model,
+        &mut scheme,
+        Some(&mut fallback),
+    )
+    .unwrap();
+
+    assert!(!run.interrupted);
+    assert_eq!(run.cycles.len(), cfg.cycles);
+    assert!(run.series.rmse.iter().all(|v| v.is_finite()));
+    assert_eq!(run.counters.analysis_retries, 2, "retry budget spent before fallback");
+    assert_eq!(run.counters.analysis_fallbacks, 1);
+    let all_events: Vec<&String> = run.cycles.iter().flat_map(|c| c.events.iter()).collect();
+    assert!(all_events.iter().any(|e| *e == "analysis_fallback:LETKF"));
+
+    let mut free_model = SqgForecast::perfect(cfg.params.clone());
+    let mut free_scheme = NoAssimilation;
+    let free = run_experiment("flow-free", &cfg, &nr, &mut free_model, &mut free_scheme).unwrap();
+    assert!(
+        run.series.steady_rmse() < free.steady_rmse(),
+        "flow-matching chaos DA {} must beat free run {}",
         run.series.steady_rmse(),
         free.steady_rmse()
     );

@@ -10,10 +10,10 @@
 use sqg_da::da_core::osse::OsseConfig;
 use sqg_da::da_core::resilience::{CheckpointConfig, RankKill, RankRejoin};
 use sqg_da::dist::{
-    modeled_analysis_secs, run_elastic_osse, DeadlinePolicy, DistCycleConfig,
+    modeled_analysis_secs, run_elastic_osse, CycleMode, DeadlinePolicy, DistCycleConfig,
     ElasticCycleConfig, ElasticOutcome,
 };
-use sqg_da::ensf::EnsfConfig;
+use sqg_da::ensf::{AnalysisMethod, EnsfConfig};
 use sqg_da::hpc::{Straggler, StragglerPlan};
 use sqg_da::sqg::SqgParams;
 
@@ -187,6 +187,44 @@ fn rejoin_after_kill_is_recorded_and_completes() {
 
     telemetry_close();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Flow-matching under chaos: the deadline ladder pins every cycle on the
+/// deepest degradation rung — a single-step DDIM flow analysis — a rank
+/// dies mid-(degraded)-analysis and the survivors shrink and redo it. The
+/// run must still terminate `Completed` with finite skill, proving the
+/// few-step flow grid composes with the elastic shrink and deadline
+/// machinery exactly like the SDE path.
+#[test]
+fn flow_matching_survives_shrink_and_deadline_ladder() {
+    let _gate = TELEMETRY_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let mut config = elastic_config(4);
+    config.base.ensf.n_steps = 6;
+    config.base.ensf.method = AnalysisMethod::FlowMatching;
+    config.base.comm = Some(sqg_da::dist::CommSpec::clean(3));
+    let dim = config.base.osse.params.state_dim();
+    let full3 = modeled_analysis_secs(&config.base, dim, 8, 6, 3);
+    let full2 = modeled_analysis_secs(&config.base, dim, 8, 6, 2);
+    let deg3 = modeled_analysis_secs(&config.base, dim, 8, 1, 3);
+    let deg2 = modeled_analysis_secs(&config.base, dim, 8, 1, 2);
+    // Budget sits between the 1-step and 6-step estimates at both group
+    // sizes, so the ladder picks Degraded before *and* after the shrink.
+    let budget = 2.5 * deg2;
+    assert!(
+        deg3 < budget && deg2 < budget && full3 > budget && full2 > budget,
+        "cost-model sanity: degraded ({deg3:.3e}/{deg2:.3e}) must fit and \
+         full ({full3:.3e}/{full2:.3e}) must blow the budget {budget:.3e}"
+    );
+    config.faults.rank_kills.push(RankKill { cycle: 1, rank: 2, after_steps: 1 });
+    config.deadline = Some(DeadlinePolicy { budget_secs: budget, degraded_steps: 1 });
+    let result = run_elastic_osse(&config, 3).unwrap();
+
+    assert_eq!(result.outcome, ElasticOutcome::Completed);
+    assert_eq!(result.counters.shrinks, 1);
+    assert_eq!(result.counters.degraded_cycles, 4, "every cycle rides the 1-step flow rung");
+    assert!(result.modes.iter().all(|&(_, m)| m == CycleMode::Degraded));
+    assert_eq!(result.cycle_means.len(), 4, "every cycle completed");
+    assert!(result.series.rmse.iter().all(|r| r.is_finite()));
 }
 
 /// Belt-and-braces no-hang sweep: all three chaos channels at once (kill,

@@ -17,7 +17,7 @@
 //! that *within* one cap the rank count never changes them.
 
 use sqg_da::dist::{run_osse, DistCycleConfig, DistRunResult};
-use sqg_da::ensf::{EnsfConfig, ScoreKernel};
+use sqg_da::ensf::{AnalysisMethod, EnsfConfig, ScoreKernel};
 use sqg_da::sqg::SqgParams;
 use sqg_da::da_core::osse::OsseConfig;
 
@@ -39,6 +39,16 @@ fn determinism_config(kernel: ScoreKernel) -> DistCycleConfig {
     }
 }
 
+/// The same experiment driven by the few-step flow-matching analysis: no
+/// per-step noise at all, so rank invariance reduces entirely to the
+/// fixed-order tile fold.
+fn flow_determinism_config() -> DistCycleConfig {
+    let mut config = determinism_config(ScoreKernel::Batched);
+    config.ensf.n_steps = 6;
+    config.ensf.method = AnalysisMethod::FlowMatching;
+    config
+}
+
 /// FNV-1a over the bit patterns of the full analysis trajectory (per-cycle
 /// means plus the final ensemble) — any single-bit divergence flips it.
 fn fingerprint(result: &DistRunResult) -> u64 {
@@ -56,35 +66,39 @@ fn fingerprint(result: &DistRunResult) -> u64 {
     h
 }
 
-fn assert_rank_invariant(kernel: ScoreKernel) {
-    let config = determinism_config(kernel);
-    let one = run_osse(&config, 1).unwrap();
+fn assert_rank_invariant(config: &DistCycleConfig, label: &str) {
+    let one = run_osse(config, 1).unwrap();
     assert_eq!(one.cycle_means.len(), 10);
     for ranks in [2usize, 4, 8] {
-        let many = run_osse(&config, ranks).unwrap();
+        let many = run_osse(config, ranks).unwrap();
         for (cycle, (a, b)) in one.cycle_means.iter().zip(&many.cycle_means).enumerate() {
             let bits_a: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
             let bits_b: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
             assert_eq!(
                 bits_a, bits_b,
-                "{kernel:?}: cycle {cycle} mean diverged at {ranks} ranks"
+                "{label}: cycle {cycle} mean diverged at {ranks} ranks"
             );
         }
         let bits_one: Vec<u64> = one.ensemble.as_slice().iter().map(|v| v.to_bits()).collect();
         let bits_many: Vec<u64> = many.ensemble.as_slice().iter().map(|v| v.to_bits()).collect();
-        assert_eq!(bits_one, bits_many, "{kernel:?}: final ensemble diverged at {ranks} ranks");
+        assert_eq!(bits_one, bits_many, "{label}: final ensemble diverged at {ranks} ranks");
         assert_eq!(fingerprint(&one), fingerprint(&many));
     }
 }
 
 #[test]
 fn ten_cycle_osse_is_bitwise_rank_invariant_batched() {
-    assert_rank_invariant(ScoreKernel::Batched);
+    assert_rank_invariant(&determinism_config(ScoreKernel::Batched), "Batched");
 }
 
 #[test]
 fn ten_cycle_osse_is_bitwise_rank_invariant_reference() {
-    assert_rank_invariant(ScoreKernel::Reference);
+    assert_rank_invariant(&determinism_config(ScoreKernel::Reference), "Reference");
+}
+
+#[test]
+fn ten_cycle_flow_osse_is_bitwise_rank_invariant() {
+    assert_rank_invariant(&flow_determinism_config(), "FlowMatching");
 }
 
 /// Child entry point for the SIMD-cap subprocess protocol: inert unless
@@ -100,19 +114,24 @@ fn simd_cap_child() {
         .expect("parent sets DIST_DET_RANKS")
         .parse()
         .expect("DIST_DET_RANKS is a rank count");
-    let result = run_osse(&determinism_config(ScoreKernel::Batched), ranks).unwrap();
+    let config = match std::env::var("DIST_DET_METHOD").as_deref() {
+        Ok("flow") => flow_determinism_config(),
+        _ => determinism_config(ScoreKernel::Batched),
+    };
+    let result = run_osse(&config, ranks).unwrap();
     println!("DIST_FINGERPRINT {:016x}", fingerprint(&result));
 }
 
-/// Runs `simd_cap_child` in a subprocess with the given SIMD cap and rank
-/// count and returns the fingerprint it printed.
-fn child_fingerprint(cap: &str, ranks: usize) -> String {
+/// Runs `simd_cap_child` in a subprocess with the given SIMD cap, rank
+/// count and analysis method, and returns the fingerprint it printed.
+fn child_fingerprint_for(cap: &str, ranks: usize, method: &str) -> String {
     let exe = std::env::current_exe().expect("test binary path");
     let out = std::process::Command::new(exe)
         .args(["simd_cap_child", "--exact", "--nocapture"])
         .env("LINALG_SIMD", cap)
         .env("DIST_DET_CHILD", "1")
         .env("DIST_DET_RANKS", ranks.to_string())
+        .env("DIST_DET_METHOD", method)
         .output()
         .expect("spawn test subprocess");
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -131,6 +150,10 @@ fn child_fingerprint(cap: &str, ranks: usize) -> String {
         .to_string()
 }
 
+fn child_fingerprint(cap: &str, ranks: usize) -> String {
+    child_fingerprint_for(cap, ranks, "sde")
+}
+
 #[test]
 fn rank_invariance_holds_under_scalar_simd_cap() {
     assert_eq!(child_fingerprint("scalar", 1), child_fingerprint("scalar", 4));
@@ -139,4 +162,20 @@ fn rank_invariance_holds_under_scalar_simd_cap() {
 #[test]
 fn rank_invariance_holds_under_avx2_simd_cap() {
     assert_eq!(child_fingerprint("avx2", 1), child_fingerprint("avx2", 8));
+}
+
+#[test]
+fn flow_rank_invariance_holds_under_scalar_simd_cap() {
+    assert_eq!(
+        child_fingerprint_for("scalar", 1, "flow"),
+        child_fingerprint_for("scalar", 4, "flow")
+    );
+}
+
+#[test]
+fn flow_rank_invariance_holds_under_avx2_simd_cap() {
+    assert_eq!(
+        child_fingerprint_for("avx2", 1, "flow"),
+        child_fingerprint_for("avx2", 8, "flow")
+    );
 }

@@ -20,7 +20,8 @@
 
 use sqg_da::da_core::osse::{initial_ensemble, nature_run, ObsOperatorKind, OsseConfig};
 use sqg_da::da_core::{
-    AnalysisScheme, ArctanEnsfScheme, EnsfScheme, ForecastModel, LetkfScheme, SqgForecast,
+    AnalysisScheme, ArctanEnsfScheme, EnsfScheme, FlowMatchingArctanEnsfScheme,
+    FlowMatchingEnsfScheme, ForecastModel, LetkfScheme, SqgForecast,
 };
 use sqg_da::ensf::EnsfConfig;
 use sqg_da::letkf::LetkfConfig;
@@ -240,6 +241,39 @@ fn ensf_arctan_trajectory_matches_golden() {
         ARCTAN_GAIN,
     );
     check_against_golden("ensf_arctan", &run_trajectory(&config, &mut scheme));
+}
+
+/// Pins the few-step flow-matching analysis (6-step probability-flow ODE)
+/// on the identity-observation OSSE. Unlike the SDE fixtures this
+/// trajectory consumes RNG only in the initial Gaussian fills, so any
+/// drift here points at the score fold, the DDIM coefficients or the
+/// prior-variance guidance — not at a noise-stream change.
+#[test]
+fn flow_trajectory_matches_golden() {
+    pin_scalar_simd();
+    let config = osse_config();
+    let mut scheme = FlowMatchingEnsfScheme::new(
+        EnsfConfig { n_steps: 6, seed: 5, ..Default::default() },
+        config.params.state_dim(),
+        config.obs_sigma,
+    );
+    check_against_golden("flow", &run_trajectory(&config, &mut scheme));
+}
+
+/// The flow-matching scheme through the saturating `arctan(40 · x)`
+/// operator: pins the nonlinear-observation guidance (Jacobian-weighted
+/// Kalman correction of the denoised estimate) bit-for-bit.
+#[test]
+fn flow_arctan_trajectory_matches_golden() {
+    pin_scalar_simd();
+    let config = arctan_config();
+    let mut scheme = FlowMatchingArctanEnsfScheme::new(
+        EnsfConfig { n_steps: 6, seed: 5, ..Default::default() },
+        config.params.state_dim(),
+        config.obs_sigma,
+        ARCTAN_GAIN,
+    );
+    check_against_golden("flow_arctan", &run_trajectory(&config, &mut scheme));
 }
 
 #[test]
