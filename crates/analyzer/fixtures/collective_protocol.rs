@@ -1,0 +1,5 @@
+//! Seeded violation: panicking collective instead of `try_*` (line 4).
+
+pub fn sync(comm: &Comm, x: &mut [f64]) {
+    comm.allreduce_sum(x);
+}

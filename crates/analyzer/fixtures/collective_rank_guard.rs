@@ -1,0 +1,7 @@
+//! Seeded violation: collective inside a rank-dependent branch (line 5).
+
+pub fn publish(comm: &Comm, rank: usize, x: &[f64]) {
+    if rank == 0 {
+        let _ = comm.try_allgather(x);
+    }
+}

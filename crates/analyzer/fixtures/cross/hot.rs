@@ -1,0 +1,8 @@
+//! Cross-file regression seed: `hot` is clean in isolation — the violation
+//! only appears when `util.rs` is analyzed alongside it (the per-file scan
+//! of PR 4 misses this by construction).
+
+// lint: no_alloc
+pub fn hot(out: &mut [f64]) {
+    scratch_helper(out);
+}

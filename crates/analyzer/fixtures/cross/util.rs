@@ -1,0 +1,7 @@
+//! Allocating helper in another module: line 5 is only flagged when the
+//! call graph connects it to `hot.rs`.
+
+pub fn scratch_helper(out: &mut [f64]) {
+    let tmp = out.to_vec();
+    let _ = tmp;
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: float accumulation in hash-map iteration order (line 4).
+
+pub fn total(m: &HashMap<u32, f64>) -> f64 { // lint: allow(nondeterministic-api, reason="fixture isolates the fold-order lint")
+    m.values().sum::<f64>()
+}

@@ -1,0 +1,11 @@
+//! Seeded violation: a `no_alloc` fn calls a helper that allocates (line 9).
+
+// lint: no_alloc
+pub fn hot(out: &mut [f64]) {
+    fill(out);
+}
+
+pub fn fill(out: &mut [f64]) {
+    let tmp: Vec<f64> = Vec::with_capacity(out.len());
+    let _ = tmp;
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: wall-clock duration via `.elapsed()` (line 4).
+
+pub fn secs(t0: std::time::Instant) -> f64 { // lint: allow(nondeterministic-api, reason="fixture isolates the elapsed extension")
+    t0.elapsed().as_secs_f64()
+}

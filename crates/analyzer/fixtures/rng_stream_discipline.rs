@@ -1,0 +1,5 @@
+//! Seeded violation: raw RNG construction bypassing the stream API (line 4).
+
+pub fn make_rng() -> StdRng {
+    StdRng::seed_from_u64(7)
+}

@@ -1,0 +1,161 @@
+//! Workspace call graph over the symbol table.
+//!
+//! Nodes are fn definitions ([`crate::symbols::FnDef`]); edges link a caller
+//! to every definition its call sites *may* resolve to under the name-level
+//! heuristics. The graph therefore over-approximates real calls (method
+//! names resolve by name alone) and under-approximates through function
+//! pointers, closures passed across crates, and macro-generated code — see
+//! the README's limitations section.
+
+use crate::symbols::{call_sites, CallSite, SymbolTable};
+use crate::FileFacts;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+
+/// One caller → callee edge, annotated with the witnessing call site.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Callee definition (index into `SymbolTable::defs`).
+    pub to: usize,
+    /// 1-based line of the call site in the caller's file.
+    pub line: u32,
+    /// 1-based column of the call site.
+    pub col: u32,
+}
+
+/// Adjacency-list call graph; indices parallel `SymbolTable::defs`.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Outgoing edges per definition.
+    pub edges: Vec<Vec<Edge>>,
+    /// Unresolved call sites per definition (kept for diagnostics/tests).
+    pub call_sites: Vec<Vec<CallSite>>,
+}
+
+impl CallGraph {
+    /// Builds the graph: extracts every body's call sites and resolves them
+    /// against the table.
+    pub fn build(files: &[FileFacts], table: &SymbolTable) -> CallGraph {
+        let mut g = CallGraph {
+            edges: vec![Vec::new(); table.defs.len()],
+            call_sites: vec![Vec::new(); table.defs.len()],
+        };
+        for (di, def) in table.defs.iter().enumerate() {
+            // INVARIANT: SymbolTable::build only admits bodied fns.
+            let (a, b) = def.body.unwrap();
+            let sites = call_sites(&files[def.file].tokens, a, b);
+            for site in &sites {
+                for target in table.resolve(files, def.file, site) {
+                    if target != di {
+                        g.edges[di].push(Edge { to: target, line: site.line, col: site.col });
+                    }
+                }
+            }
+            g.call_sites[di] = sites;
+        }
+        g
+    }
+
+    /// Multi-source BFS from `roots`. Returns, for every reachable
+    /// definition (roots included at depth 0), the root it was first
+    /// reached from and its BFS parent — enough to reconstruct one shortest
+    /// call chain with [`CallGraph::chain`].
+    pub fn reachable(&self, roots: &[usize]) -> BTreeMap<usize, Reached> {
+        let mut seen: BTreeMap<usize, Reached> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<usize> = roots.iter().copied().collect();
+        for &r in roots {
+            seen.entry(r).or_insert(Reached { root: r, parent: None });
+        }
+        while let Some(d) = queue.pop_front() {
+            let root = seen[&d].root;
+            for e in &self.edges[d] {
+                if let Entry::Vacant(v) = seen.entry(e.to) {
+                    v.insert(Reached { root, parent: Some(d) });
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// One shortest root → `def` call chain as fn names, from a
+    /// [`CallGraph::reachable`] result.
+    pub fn chain(
+        &self,
+        table: &SymbolTable,
+        reached: &BTreeMap<usize, Reached>,
+        def: usize,
+    ) -> Vec<String> {
+        let mut names = vec![table.defs[def].name.clone()];
+        let mut cur = def;
+        while let Some(Reached { parent: Some(p), .. }) = reached.get(&cur) {
+            names.push(table.defs[*p].name.clone());
+            cur = *p;
+        }
+        names.reverse();
+        names
+    }
+}
+
+/// How a definition was reached during BFS.
+#[derive(Debug, Clone, Copy)]
+pub struct Reached {
+    /// The root definition whose traversal first reached this one.
+    pub root: usize,
+    /// BFS predecessor (`None` for roots).
+    pub parent: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FileFacts, FileKind, Scope};
+
+    fn facts(rel: &str, crate_name: &str, src: &str) -> FileFacts {
+        FileFacts::collect(rel, src, FileKind::Library, Scope::for_crate(crate_name))
+    }
+
+    fn def_named(table: &SymbolTable, name: &str) -> usize {
+        table.by_name[name][0]
+    }
+
+    #[test]
+    fn edges_cross_files_within_a_crate() {
+        let files = vec![
+            facts("crates/ensf/src/a.rs", "ensf", "pub fn hot() { helper(); }\n"),
+            facts("crates/ensf/src/b.rs", "ensf", "pub fn helper() { leaf(); }\npub fn leaf() {}\n"),
+        ];
+        let table = SymbolTable::build(&files);
+        let g = CallGraph::build(&files, &table);
+        let hot = def_named(&table, "hot");
+        let helper = def_named(&table, "helper");
+        let leaf = def_named(&table, "leaf");
+        assert_eq!(g.edges[hot].len(), 1);
+        assert_eq!(g.edges[hot][0].to, helper);
+        let reached = g.reachable(&[hot]);
+        assert!(reached.contains_key(&leaf), "transitive closure reaches leaf");
+        assert_eq!(g.chain(&table, &reached, leaf), vec!["hot", "helper", "leaf"]);
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let files = vec![facts(
+            "crates/ensf/src/a.rs",
+            "ensf",
+            "pub fn ping() { pong(); }\npub fn pong() { ping(); }\n",
+        )];
+        let table = SymbolTable::build(&files);
+        let g = CallGraph::build(&files, &table);
+        let reached = g.reachable(&[def_named(&table, "ping")]);
+        assert_eq!(reached.len(), 2);
+    }
+
+    #[test]
+    fn self_calls_do_not_self_edge() {
+        let files =
+            vec![facts("crates/ensf/src/a.rs", "ensf", "pub fn rec(n: u32) { rec(n); }\n")];
+        let table = SymbolTable::build(&files);
+        let g = CallGraph::build(&files, &table);
+        assert!(g.edges[0].is_empty());
+    }
+}

@@ -1,19 +1,35 @@
 //! In-tree static analyzer for the sqg-da workspace.
 //!
 //! Enforces the invariants PRs 2–3 promised — bitwise determinism,
-//! allocation-free hot loops, justified `unsafe`, dispatch-gated SIMD — as
-//! machine-checked lints over a hand-rolled lexer and a lightweight
-//! structural parser (no `syn`, no rustc internals, no dependencies).
+//! allocation-free hot loops, justified `unsafe`, dispatch-gated SIMD,
+//! hang-free fault-aware collectives — as machine-checked lints over a
+//! hand-rolled lexer, a lightweight structural parser, and (since v2) a
+//! workspace-wide symbol table + call graph (no `syn`, no rustc internals,
+//! no dependencies).
+//!
+//! Analysis runs in two phases:
+//!
+//! 1. **Per-file**: [`FileFacts::collect`] lexes and parses one file into
+//!    owned facts (tokens, comments, structure, directives); the per-file
+//!    lints in [`lints`] run over a borrowed [`FileCtx`] view of them.
+//! 2. **Workspace**: [`passes`] builds a [`symbols::SymbolTable`] and a
+//!    [`callgraph::CallGraph`] over *all* collected facts and runs the
+//!    interprocedural passes (`no_alloc` reachability, collective-protocol
+//!    safety, determinism dataflow).
 //!
 //! Run `cargo run -p analyzer -- check` from the workspace root; see
-//! `crates/analyzer/README.md` for the lint table and the lexer's
-//! limitations.
+//! `crates/analyzer/README.md` for the lint table and the lexer's and
+//! call-graph's limitations.
 
 pub mod allow;
+pub mod callgraph;
 pub mod diag;
 pub mod lexer;
 pub mod lints;
 pub mod parse;
+pub mod passes;
+pub mod sarif;
+pub mod symbols;
 pub mod workspace;
 
 pub use diag::Diagnostic;
@@ -57,11 +73,27 @@ pub const LINTS: &[Lint] = &[
     },
     Lint {
         name: "nondeterministic-api",
-        desc: "no SystemTime/Instant/unseeded RNG/HashMap in numeric crates (fft, linalg, stats, sqg, ensf, letkf)",
+        desc: "no SystemTime/Instant/elapsed/unseeded RNG/HashMap in numeric crates (fft, linalg, stats, sqg, ensf, letkf)",
     },
     Lint {
         name: "no-alloc-in-hot-path",
         desc: "functions marked `// lint: no_alloc` must not allocate (Vec::new/push/to_vec/collect/clone/Box::new/...)",
+    },
+    Lint {
+        name: "no-alloc-reachable",
+        desc: "no function transitively reachable from a `// lint: no_alloc` fn may allocate (call-graph pass)",
+    },
+    Lint {
+        name: "collective-protocol",
+        desc: "dist/hpc collectives must use the fault-aware try_* variants, never inside rank-dependent branches",
+    },
+    Lint {
+        name: "hash-float-fold",
+        desc: "HashMap/HashSet iteration must not feed float accumulation (fold-order nondeterminism)",
+    },
+    Lint {
+        name: "rng-stream-discipline",
+        desc: "dist/ensf RNGs must derive from the stats::rng per-(particle,tile) stream API, never raw construction",
     },
     Lint {
         name: "float-exact-compare",
@@ -87,7 +119,147 @@ pub struct FileReport {
     pub suppressed: usize,
 }
 
-/// Everything the lints need to know about one file.
+/// Which lint families apply to a file, derived from its crate.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// Crate directory name (`ensf`, `dist`, ... or `sqg-da` for the root).
+    pub crate_name: String,
+    /// Bound by the determinism contract (`nondeterministic-api`).
+    pub numeric: bool,
+    /// Bound by the collective protocol (`dist`, `hpc`).
+    pub comm: bool,
+    /// Bound by RNG stream discipline (`dist`, `ensf`).
+    pub rng_strict: bool,
+    /// Bound by hash-iteration-order determinism (numeric ∪ `dist`, `hpc`,
+    /// `core`).
+    pub hash_order: bool,
+}
+
+impl Scope {
+    /// Scope for a workspace crate, by crate directory name.
+    pub fn for_crate(crate_name: &str) -> Scope {
+        let numeric = workspace::NUMERIC_CRATES.contains(&crate_name);
+        Scope {
+            crate_name: crate_name.to_string(),
+            numeric,
+            comm: matches!(crate_name, "dist" | "hpc"),
+            rng_strict: matches!(crate_name, "dist" | "ensf"),
+            hash_order: numeric || matches!(crate_name, "dist" | "hpc" | "core"),
+        }
+    }
+
+    /// Fixture-mode scope: every lint family applies.
+    pub fn fixture() -> Scope {
+        Scope {
+            crate_name: "fixture".to_string(),
+            numeric: true,
+            comm: true,
+            rng_strict: true,
+            hash_order: true,
+        }
+    }
+}
+
+/// Everything the analyzer knows about one file, owned: the unit both the
+/// per-file lints and the workspace passes consume.
+pub struct FileFacts {
+    /// Workspace-relative display path.
+    pub rel: String,
+    /// Role of the file.
+    pub kind: FileKind,
+    /// Lint-family applicability.
+    pub scope: Scope,
+    /// Full source text.
+    pub text: String,
+    /// Lexed tokens.
+    pub tokens: Vec<Token>,
+    /// Lexed comments.
+    pub comments: Vec<Comment>,
+    /// Structural facts (braces, test regions, fns).
+    pub structure: Structure,
+    /// `fn` body token ranges marked `// lint: no_alloc`, with fn names.
+    pub no_alloc: Vec<(String, usize, usize)>,
+    /// `(lint, first_line, last_line)` ranges covered by allow directives.
+    pub allow_ranges: Vec<(String, u32, u32)>,
+    /// Malformed/unknown directives, reported as `lint-directive` errors.
+    pub directive_errors: Vec<(u32, String)>,
+}
+
+impl FileFacts {
+    /// Lexes, parses and resolves directives for one file.
+    pub fn collect(rel: &str, text: &str, kind: FileKind, scope: Scope) -> FileFacts {
+        let lexed = lexer::lex(text);
+        let structure = parse::analyze(&lexed.tokens);
+        let directives = allow::parse_directives(&lexed.comments);
+        let token_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+
+        let mut no_alloc = Vec::new();
+        let mut allow_ranges = Vec::new();
+        let mut directive_errors: Vec<(u32, String)> = Vec::new();
+        for d in &directives {
+            match d {
+                Directive::Allow { lint, line, trailing, .. } => {
+                    if !is_known_lint(lint) {
+                        directive_errors
+                            .push((*line, format!("`allow({lint})` names an unknown lint")));
+                        continue;
+                    }
+                    let range = if *trailing {
+                        (*line, *line)
+                    } else {
+                        allow_coverage(&lexed.tokens, &structure, &token_lines, *line)
+                    };
+                    allow_ranges.push((lint.clone(), range.0, range.1));
+                }
+                Directive::NoAlloc { line } => {
+                    match no_alloc_target(&lexed.tokens, &structure, &token_lines, *line) {
+                        Some((name, a, b)) => no_alloc.push((name, a, b)),
+                        None => directive_errors.push((
+                            *line,
+                            "`no_alloc` directive must directly precede a function with a body"
+                                .to_string(),
+                        )),
+                    }
+                }
+                Directive::Malformed { line, why } => {
+                    directive_errors.push((*line, format!("malformed lint directive: {why}")));
+                }
+            }
+        }
+
+        FileFacts {
+            rel: rel.to_string(),
+            kind,
+            scope,
+            text: text.to_string(),
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            structure,
+            no_alloc,
+            allow_ranges,
+            directive_errors,
+        }
+    }
+
+    /// Verbatim text of 1-based `line` (empty if out of range).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.text.lines().nth(line as usize - 1).unwrap_or("").trim_end()
+    }
+
+    /// True when `line` is inside `#[cfg(test)]` / `#[test]` code or the
+    /// file as a whole is not library code.
+    pub fn in_test_context(&self, line: u32) -> bool {
+        self.kind != FileKind::Library || self.structure.in_test_region(line)
+    }
+
+    /// True when an `allow(<lint>)` directive covers `line`.
+    pub fn allowed(&self, lint: &str, line: u32) -> bool {
+        self.allow_ranges.iter().any(|(l, a, b)| l == lint && *a <= line && line <= *b)
+    }
+}
+
+/// Everything the per-file lints need to know about one file: a borrowed
+/// view over [`FileFacts`] plus derived comment/token indexes.
 pub struct FileCtx<'a> {
     /// Workspace-relative display path.
     pub rel: &'a str,
@@ -104,13 +276,32 @@ pub struct FileCtx<'a> {
     /// Structural facts (braces, test regions, fns).
     pub structure: &'a Structure,
     /// `fn` body token ranges marked `// lint: no_alloc`, with fn names.
-    pub no_alloc: Vec<(String, usize, usize)>,
-    allow_ranges: Vec<(String, u32, u32)>,
+    pub no_alloc: &'a [(String, usize, usize)],
+    allow_ranges: &'a [(String, u32, u32)],
     comment_by_end_line: BTreeMap<u32, usize>,
-    token_lines: BTreeSet<u32>,
 }
 
 impl<'a> FileCtx<'a> {
+    /// Borrows a lint-ready view of `facts`.
+    pub fn new(facts: &'a FileFacts) -> FileCtx<'a> {
+        let mut comment_by_end_line = BTreeMap::new();
+        for (i, c) in facts.comments.iter().enumerate() {
+            comment_by_end_line.insert(c.end_line, i);
+        }
+        FileCtx {
+            rel: &facts.rel,
+            kind: facts.kind,
+            numeric: facts.scope.numeric,
+            lines: facts.text.lines().collect(),
+            tokens: &facts.tokens,
+            comments: &facts.comments,
+            structure: &facts.structure,
+            no_alloc: &facts.no_alloc,
+            allow_ranges: &facts.allow_ranges,
+            comment_by_end_line,
+        }
+    }
+
     /// Verbatim text of 1-based `line` (empty if out of range).
     pub fn line_text(&self, line: u32) -> &'a str {
         self.lines.get(line as usize - 1).copied().unwrap_or("").trim_end()
@@ -198,71 +389,16 @@ impl<'c, 'a> Emitter<'c, 'a> {
     }
 }
 
-/// Analyzes one file's source text.
-pub fn analyze_source(rel: &str, text: &str, kind: FileKind, numeric: bool) -> FileReport {
-    let lexed = lexer::lex(text);
-    let structure = parse::analyze(&lexed.tokens);
-    let directives = allow::parse_directives(&lexed.comments);
-
-    let mut comment_by_end_line = BTreeMap::new();
-    for (i, c) in lexed.comments.iter().enumerate() {
-        comment_by_end_line.insert(c.end_line, i);
-    }
-    let token_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
-
-    let mut ctx = FileCtx {
-        rel,
-        kind,
-        numeric,
-        lines: text.lines().collect(),
-        tokens: &lexed.tokens,
-        comments: &lexed.comments,
-        structure: &structure,
-        no_alloc: Vec::new(),
-        allow_ranges: Vec::new(),
-        comment_by_end_line,
-        token_lines,
-    };
-
-    let mut directive_errors: Vec<(u32, String)> = Vec::new();
-    for d in &directives {
-        match d {
-            Directive::Allow { lint, line, trailing, .. } => {
-                if !is_known_lint(lint) {
-                    directive_errors
-                        .push((*line, format!("`allow({lint})` names an unknown lint")));
-                    continue;
-                }
-                let range = if *trailing {
-                    (*line, *line)
-                } else {
-                    allow_coverage(&ctx, *line)
-                };
-                ctx.allow_ranges.push((lint.clone(), range.0, range.1));
-            }
-            Directive::NoAlloc { line } => {
-                match no_alloc_target(&ctx, &structure, *line) {
-                    Some((name, a, b)) => ctx.no_alloc.push((name, a, b)),
-                    None => directive_errors.push((
-                        *line,
-                        "`no_alloc` directive must directly precede a function with a body"
-                            .to_string(),
-                    )),
-                }
-            }
-            Directive::Malformed { line, why } => {
-                directive_errors.push((*line, format!("malformed lint directive: {why}")));
-            }
-        }
-    }
-
+/// Runs the per-file lints (plus directive errors) over collected facts.
+pub fn analyze_facts(facts: &FileFacts) -> FileReport {
+    let ctx = FileCtx::new(facts);
     let mut em = Emitter::new(&ctx);
-    for (line, msg) in directive_errors {
+    for (line, msg) in &facts.directive_errors {
         em.emit(
             "lint-directive",
-            line,
+            *line,
             1,
-            msg,
+            msg.clone(),
             "directives look like `// lint: allow(<lint>, reason=\"...\")` or `// lint: no_alloc`",
         );
     }
@@ -271,16 +407,31 @@ pub fn analyze_source(rel: &str, text: &str, kind: FileKind, numeric: bool) -> F
     FileReport { diags: em.diags, suppressed: em.suppressed }
 }
 
+/// Analyzes one file's source text with the per-file lints only. The
+/// workspace passes (call-graph reachability, collective protocol,
+/// determinism dataflow) additionally need [`passes::run`] over every file's
+/// facts at once.
+pub fn analyze_source(rel: &str, text: &str, kind: FileKind, numeric: bool) -> FileReport {
+    let mut scope = Scope::for_crate("mem");
+    scope.numeric = numeric;
+    analyze_facts(&FileFacts::collect(rel, text, kind, scope))
+}
+
 /// Line range an own-line `allow` directive at `line` covers: the next code
 /// line, extended to the whole brace block when that line opens one.
-fn allow_coverage(ctx: &FileCtx<'_>, line: u32) -> (u32, u32) {
-    let Some(&next_line) = ctx.token_lines.iter().find(|&&l| l > line) else {
+fn allow_coverage(
+    tokens: &[Token],
+    structure: &Structure,
+    token_lines: &BTreeSet<u32>,
+    line: u32,
+) -> (u32, u32) {
+    let Some(&next_line) = token_lines.iter().find(|&&l| l > line) else {
         return (line, line);
     };
     // INVARIANT: next_line came from token_lines, so a token on it exists.
-    let idx = ctx.tokens.iter().position(|t| t.line == next_line).unwrap();
-    match parse::body_block(ctx.tokens, &ctx.structure.brace_pair, idx) {
-        Some((_, close)) => (next_line, ctx.tokens[close].line),
+    let idx = tokens.iter().position(|t| t.line == next_line).unwrap();
+    match parse::body_block(tokens, &structure.brace_pair, idx) {
+        Some((_, close)) => (next_line, tokens[close].line),
         None => (next_line, next_line),
     }
 }
@@ -289,12 +440,13 @@ fn allow_coverage(ctx: &FileCtx<'_>, line: u32) -> (u32, u32) {
 /// range. The fn keyword must start within 8 lines (attributes may
 /// intervene), and the fn must have a body.
 fn no_alloc_target(
-    ctx: &FileCtx<'_>,
+    tokens: &[Token],
     structure: &Structure,
+    token_lines: &BTreeSet<u32>,
     line: u32,
 ) -> Option<(String, usize, usize)> {
-    let &next_line = ctx.token_lines.iter().find(|&&l| l > line)?;
-    let idx = ctx.tokens.iter().position(|t| t.line == next_line)?;
+    let &next_line = token_lines.iter().find(|&&l| l > line)?;
+    let idx = tokens.iter().position(|t| t.line == next_line)?;
     let f = structure
         .fns
         .iter()
@@ -347,5 +499,17 @@ mod tests {
         let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
         let r = lib_report(src);
         assert!(r.diags.is_empty(), "{:?}", r.diags);
+    }
+
+    #[test]
+    fn scope_families_follow_crate() {
+        let s = Scope::for_crate("ensf");
+        assert!(s.numeric && s.rng_strict && s.hash_order && !s.comm);
+        let s = Scope::for_crate("hpc");
+        assert!(!s.numeric && s.comm && s.hash_order && !s.rng_strict);
+        let s = Scope::for_crate("dist");
+        assert!(s.comm && s.rng_strict && s.hash_order && !s.numeric);
+        let s = Scope::for_crate("telemetry");
+        assert!(!s.numeric && !s.comm && !s.rng_strict && !s.hash_order);
     }
 }

@@ -1,6 +1,7 @@
-//! The six lints. Each is a pure scan over one file's [`FileCtx`].
+//! The per-file lints. Each is a pure scan over one file's [`FileCtx`].
+//! The interprocedural passes live in [`crate::passes`].
 
-use crate::lexer::TokenKind;
+use crate::lexer::{Token, TokenKind};
 use crate::{Emitter, FileCtx};
 use std::collections::BTreeSet;
 
@@ -78,8 +79,15 @@ fn nondeterministic_api(ctx: &FileCtx<'_>, em: &mut Emitter<'_, '_>) {
         if t.kind != TokenKind::Ident || ctx.in_test_context(t.line) {
             continue;
         }
+        let prev = i.checked_sub(1).map(|p| ctx.tokens[p].text.as_str());
+        let next = ctx.tokens.get(i + 1).map(|n| n.text.as_str());
         let why = match t.text.as_str() {
-            "SystemTime" | "Instant" => "wall-clock time is run-to-run nondeterministic",
+            "SystemTime" | "Instant" | "UNIX_EPOCH" => {
+                "wall-clock time is run-to-run nondeterministic"
+            }
+            "elapsed" | "duration_since" if prev == Some(".") && next == Some("(") => {
+                "wall-clock durations are run-to-run nondeterministic"
+            }
             "HashMap" | "HashSet" => {
                 "iteration order is seeded per-process; any iteration breaks reproducibility"
             }
@@ -105,37 +113,51 @@ fn nondeterministic_api(ctx: &FileCtx<'_>, em: &mut Emitter<'_, '_>) {
     }
 }
 
-/// `no-alloc-in-hot-path`: functions marked `// lint: no_alloc` must not
-/// call the allocating APIs below anywhere in their body.
-fn no_alloc_in_hot_path(ctx: &FileCtx<'_>, em: &mut Emitter<'_, '_>) {
+/// Token indices of allocating calls in `tokens[a..=b]`: allocating methods
+/// (`.push(`, `.collect(`, ...), `vec!`/`format!` macros, and constructor
+/// paths (`Vec::new`, `Box::new`, `String::from`, ...). Shared between the
+/// per-file `no-alloc-in-hot-path` scan and the interprocedural
+/// `no-alloc-reachable` pass.
+pub(crate) fn alloc_sites(tokens: &[Token], a: usize, b: usize) -> Vec<usize> {
     const METHODS: &[&str] = &[
         "push", "collect", "to_vec", "clone", "to_owned", "to_string", "with_capacity", "reserve",
         "extend", "extend_from_slice", "insert",
     ];
     const TYPES: &[&str] = &["Vec", "Box", "String", "VecDeque", "BTreeMap", "HashMap"];
-    for (fn_name, a, b) in &ctx.no_alloc {
-        for i in *a..=*b {
+    let mut sites = Vec::new();
+    for i in a..=b.min(tokens.len().saturating_sub(1)) {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| tokens[p].text.as_str());
+        let next = tokens.get(i + 1).map(|n| n.text.as_str());
+        let next2 = tokens.get(i + 2).map(|n| n.text.as_str());
+        let hit = (prev == Some(".") && next == Some("(") && METHODS.contains(&t.text.as_str()))
+            || (next == Some("!") && (t.text == "vec" || t.text == "format"))
+            || (TYPES.contains(&t.text.as_str())
+                && next == Some("::")
+                && matches!(next2, Some("new" | "with_capacity" | "from")));
+        if hit {
+            sites.push(i);
+        }
+    }
+    sites
+}
+
+/// `no-alloc-in-hot-path`: functions marked `// lint: no_alloc` must not
+/// call the allocating APIs anywhere in their body (see [`alloc_sites`]).
+fn no_alloc_in_hot_path(ctx: &FileCtx<'_>, em: &mut Emitter<'_, '_>) {
+    for (fn_name, a, b) in ctx.no_alloc {
+        for i in alloc_sites(ctx.tokens, *a, *b) {
             let t = &ctx.tokens[i];
-            if t.kind != TokenKind::Ident {
-                continue;
-            }
-            let prev = i.checked_sub(1).map(|p| ctx.tokens[p].text.as_str());
-            let next = ctx.tokens.get(i + 1).map(|n| n.text.as_str());
-            let next2 = ctx.tokens.get(i + 2).map(|n| n.text.as_str());
-            let hit = (prev == Some(".") && next == Some("(") && METHODS.contains(&t.text.as_str()))
-                || (next == Some("!") && (t.text == "vec" || t.text == "format"))
-                || (TYPES.contains(&t.text.as_str())
-                    && next == Some("::")
-                    && matches!(next2, Some("new" | "with_capacity" | "from")));
-            if hit {
-                em.emit(
-                    "no-alloc-in-hot-path",
-                    t.line,
-                    t.col,
-                    format!("`{}` allocates inside `// lint: no_alloc` fn `{}`", t.text, fn_name),
-                    "hot-path functions must reuse caller-owned scratch; hoist the allocation out of the loop",
-                );
-            }
+            em.emit(
+                "no-alloc-in-hot-path",
+                t.line,
+                t.col,
+                format!("`{}` allocates inside `// lint: no_alloc` fn `{}`", t.text, fn_name),
+                "hot-path functions must reuse caller-owned scratch; hoist the allocation out of the loop",
+            );
         }
     }
 }
@@ -250,6 +272,21 @@ mod tests {
         let d = diags(src);
         assert_eq!(d.len(), 2, "{d:?}"); // the use and the call site
         assert!(d.iter().all(|(l, _)| l == "nondeterministic-api"));
+    }
+
+    #[test]
+    fn elapsed_and_epoch_flagged_in_numeric_crates() {
+        let src = "fn f(t0: std::time::Instant) -> f64 {\n    t0.elapsed().as_secs_f64()\n}\n";
+        // line 1 flags `Instant`, line 2 flags `.elapsed()`.
+        assert_eq!(
+            diags(src),
+            vec![("nondeterministic-api".to_string(), 1), ("nondeterministic-api".to_string(), 2)]
+        );
+        let epoch = "fn f(now: std::time::SystemTime) -> u64 {\n    now.duration_since(UNIX_EPOCH).unwrap_or_default().as_secs()\n}\n";
+        let d = diags(epoch);
+        assert_eq!(d.len(), 3, "{d:?}"); // SystemTime, duration_since, UNIX_EPOCH
+        // `elapsed` as a field or plain ident is not a call site.
+        assert!(diags("fn f(s: &Stats) -> u64 { s.elapsed }\n").is_empty());
     }
 
     #[test]

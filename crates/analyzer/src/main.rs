@@ -1,19 +1,25 @@
 //! `analyzer` CLI.
 //!
 //! ```text
-//! cargo run -p analyzer -- check [--json] [--root DIR] [FILE...]
+//! cargo run -p analyzer -- check [--json|--sarif] [--root DIR] [FILE...]
 //! cargo run -p analyzer -- lints
 //! ```
 //!
-//! `check` with no FILE arguments scans the whole workspace (honoring each
-//! file's crate/test classification). With explicit FILE arguments it runs
-//! in *fixture mode*: every file is treated as library code in a numeric
-//! crate, so all six lints apply — that is what the self-test corpus and the
-//! CI fixture step rely on.
+//! `check` with no FILE arguments scans the whole workspace: per-file lints
+//! under each file's crate/test classification, then the workspace passes
+//! (call-graph `no_alloc` reachability, collective protocol, determinism
+//! dataflow) over all files at once. With explicit FILE arguments it runs in
+//! *fixture mode*: every file is treated as library code with every lint
+//! family in scope, and the workspace passes run over exactly the given set
+//! — that is what the self-test corpus and the CI fixture step rely on (and
+//! how the cross-file fixture pair is exercised).
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 
-use analyzer::{analyze_source, diag::json_str, workspace, Diagnostic, FileKind, LINTS};
+use analyzer::{
+    analyze_facts, diag::json_str, passes, sarif, workspace, Diagnostic, FileFacts, FileKind,
+    Scope, LINTS,
+};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,20 +35,30 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: analyzer check [--json] [--root DIR] [FILE...]\n       analyzer lints");
+            eprintln!(
+                "usage: analyzer check [--json|--sarif] [--root DIR] [FILE...]\n       analyzer lints"
+            );
             ExitCode::from(2)
         }
     }
 }
 
+#[derive(PartialEq)]
+enum Output {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn check(args: &[String]) -> ExitCode {
-    let mut json = false;
+    let mut output = Output::Text;
     let mut root = PathBuf::from(".");
     let mut files: Vec<PathBuf> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--json" => json = true,
+            "--json" => output = Output::Json,
+            "--sarif" => output = Output::Sarif,
             "--root" => match it.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
@@ -67,19 +83,26 @@ fn check(args: &[String]) -> ExitCode {
             }
         }
     } else {
-        // Fixture mode: all lints apply to every explicit file.
+        // Fixture mode: all lint families apply to every explicit file.
         files
             .into_iter()
             .map(|p| {
                 let rel = p.to_string_lossy().into_owned();
-                workspace::WorkFile { path: p, rel, kind: FileKind::Library, numeric: true }
+                workspace::WorkFile {
+                    path: p,
+                    rel,
+                    kind: FileKind::Library,
+                    numeric: true,
+                    crate_name: "fixture".to_string(),
+                }
             })
             .collect()
     };
 
+    // Phase 1: collect facts and run the per-file lints.
+    let mut facts: Vec<FileFacts> = Vec::with_capacity(worklist.len());
     let mut diags: Vec<Diagnostic> = Vec::new();
     let mut suppressed = 0usize;
-    let mut files_scanned = 0usize;
     for wf in &worklist {
         let text = match std::fs::read_to_string(&wf.path) {
             Ok(t) => t,
@@ -88,39 +111,57 @@ fn check(args: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        files_scanned += 1;
-        let report = analyze_source(&wf.rel, &text, wf.kind, wf.numeric);
+        let scope = if wf.crate_name == "fixture" {
+            Scope::fixture()
+        } else {
+            Scope::for_crate(&wf.crate_name)
+        };
+        let f = FileFacts::collect(&wf.rel, &text, wf.kind, scope);
+        let report = analyze_facts(&f);
         suppressed += report.suppressed;
         diags.extend(report.diags);
+        facts.push(f);
     }
-    diags.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
 
+    // Phase 2: workspace passes over all facts at once.
+    let ws = passes::run(&facts);
+    suppressed += ws.suppressed;
+    diags.extend(ws.diags);
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.lint).cmp(&(&b.file, b.line, b.col, b.lint)));
+
+    let files_scanned = facts.len();
     let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
     for d in &diags {
         *counts.entry(d.lint).or_insert(0) += 1;
     }
 
-    if json {
-        let findings: Vec<String> = diags.iter().map(Diagnostic::to_json).collect();
-        let count_fields: Vec<String> =
-            counts.iter().map(|(k, v)| format!("{}:{}", json_str(k), v)).collect();
-        println!(
-            "{{\"id\":\"analyzer\",\"version\":1,\"files_scanned\":{},\"suppressed\":{},\"counts\":{{{}}},\"findings\":[{}]}}",
-            files_scanned,
-            suppressed,
-            count_fields.join(","),
-            findings.join(","),
-        );
-    } else {
-        for d in &diags {
-            println!("{}", d.render());
+    match output {
+        Output::Json => {
+            let findings: Vec<String> = diags.iter().map(Diagnostic::to_json).collect();
+            let count_fields: Vec<String> =
+                counts.iter().map(|(k, v)| format!("{}:{}", json_str(k), v)).collect();
+            println!(
+                "{{\"id\":\"analyzer\",\"version\":2,\"files_scanned\":{},\"suppressed\":{},\"counts\":{{{}}},\"findings\":[{}]}}",
+                files_scanned,
+                suppressed,
+                count_fields.join(","),
+                findings.join(","),
+            );
         }
-        println!(
-            "analyzer: {} finding(s), {} suppressed by allow, {} file(s) scanned",
-            diags.len(),
-            suppressed,
-            files_scanned
-        );
+        Output::Sarif => {
+            print!("{}", sarif::render(&diags, suppressed, files_scanned));
+        }
+        Output::Text => {
+            for d in &diags {
+                println!("{}", d.render());
+            }
+            println!(
+                "analyzer: {} finding(s), {} suppressed by allow, {} file(s) scanned",
+                diags.len(),
+                suppressed,
+                files_scanned
+            );
+        }
     }
     if diags.is_empty() {
         ExitCode::SUCCESS

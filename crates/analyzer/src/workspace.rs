@@ -17,6 +17,8 @@ pub struct WorkFile {
     pub kind: FileKind,
     /// True when the file belongs to a numeric crate.
     pub numeric: bool,
+    /// Crate directory name (`ensf`, `dist`, ... or `sqg-da` for the root).
+    pub crate_name: String,
 }
 
 /// Directory names never descended into.
@@ -85,7 +87,8 @@ pub fn classify(path: PathBuf, rel: String) -> WorkFile {
     } else {
         FileKind::Library
     };
-    WorkFile { path, rel, kind, numeric }
+    // `crate_name` borrows `rel`; materialize it before `rel` moves in.
+    WorkFile { path, crate_name: crate_name.to_string(), rel, kind, numeric }
 }
 
 #[cfg(test)]

@@ -1,0 +1,94 @@
+//! Property tests hardening the analyzer's lexer/parser on random token
+//! soup: no panics, position monotonicity, and comment/string contents
+//! never leaking into the token stream (the `unsafe`-inside-a-string-
+//! literal false-positive class).
+
+use analyzer::lexer::{lex, TokenKind};
+use analyzer::{analyze_source, parse, FileKind};
+use proptest::prelude::*;
+
+/// Source fragments chosen to stress every lexer state: raw/normal strings,
+/// chars vs lifetimes, nested block comments, multi-char punct, directives,
+/// floats vs ranges, and non-ASCII text.
+const FRAGMENTS: &[&str] = &[
+    "ident", "unsafe", "fn", "let", "impl", "Instant", "r", "#", "\"", "r\"", "r#\"", "\"#", "'",
+    "'a", "'x'", "b'x'", "\\", "\\\"", "//", "/*", "*/", "///", "//!", "\n", " ", "\t", "{", "}",
+    "(", ")", "[", "]", "<", ">", "::", "<<=", "..=", "...", "=>", "->", "==", "0", "1.5", "1e9",
+    "0x1f", "1.", "..", "0.5f64", "é", "∑", ";", ",", ".", "=", "+", "-", "lint:",
+    "allow(float-exact-compare,", "reason=\"x\")", "no_alloc", "#[cfg(test)]", "mod", "q",
+];
+
+/// Identifier words that would fire lints if they leaked out of comments or
+/// string literals into the token stream.
+const TRIGGERS: &[&str] =
+    &["unsafe", "Instant", "SystemTime", "HashMap", "thread_rng", "panic", "elapsed"];
+
+fn soup(idxs: &[usize]) -> String {
+    idxs.iter().map(|&i| FRAGMENTS[i % FRAGMENTS.len()]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The lexer, parser, and full per-file analysis must never panic,
+    /// whatever bytes they are fed.
+    #[test]
+    fn lexing_and_analysis_never_panic(idxs in prop::collection::vec(0usize..FRAGMENTS.len(), 0..80)) {
+        let src = soup(&idxs);
+        let lexed = lex(&src);
+        let _ = parse::analyze(&lexed.tokens);
+        let _ = analyze_source("soup.rs", &src, FileKind::Library, true);
+    }
+
+    /// Token and comment positions are strictly monotone in source order,
+    /// 1-based, and within the line count of the input — the invariant every
+    /// downstream span computation relies on.
+    #[test]
+    fn positions_are_monotone_and_in_bounds(idxs in prop::collection::vec(0usize..FRAGMENTS.len(), 0..80)) {
+        let src = soup(&idxs);
+        let n_lines = src.lines().count().max(1) as u32;
+        let lexed = lex(&src);
+        let mut prev = (0u32, 0u32);
+        for t in &lexed.tokens {
+            prop_assert!(!t.text.is_empty(), "empty token text");
+            prop_assert!(t.line >= 1 && t.line <= n_lines, "line {} of {n_lines}", t.line);
+            prop_assert!(t.col >= 1);
+            prop_assert!((t.line, t.col) > prev, "non-monotone at {}:{}", t.line, t.col);
+            prev = (t.line, t.col);
+        }
+        let mut prev_comment = 0u32;
+        for c in &lexed.comments {
+            prop_assert!(c.line >= 1 && c.end_line >= c.line);
+            prop_assert!(c.line >= prev_comment, "comments out of order");
+            prev_comment = c.line;
+        }
+    }
+
+    /// Words inside comments and string literals never become identifier
+    /// tokens (and therefore never fire lints): the lexer must treat their
+    /// contents as opaque.
+    #[test]
+    fn comment_and_string_contents_never_produce_lint_tokens(
+        which in prop::collection::vec(0usize..TRIGGERS.len(), 1..4),
+        comment_style in 0usize..3,
+    ) {
+        let body: Vec<&str> = which.iter().map(|&i| TRIGGERS[i]).collect();
+        let body = body.join(" ");
+        let comment = match comment_style {
+            0 => format!("// {body}"),
+            1 => format!("/* {body} */"),
+            _ => format!("/// {body}"),
+        };
+        let src = format!("{comment}\npub fn f() -> u32 {{\n    let s = \"{body}\";\n    let r = r\"{body}\";\n    (s.len() + r.len()) as u32\n}}\n");
+        let lexed = lex(&src);
+        for t in &lexed.tokens {
+            prop_assert!(
+                !(t.kind == TokenKind::Ident && TRIGGERS.contains(&t.text.as_str())),
+                "trigger `{}` leaked out of comment/string at {}:{}",
+                t.text, t.line, t.col
+            );
+        }
+        let report = analyze_source("soup.rs", &src, FileKind::Library, true);
+        prop_assert!(report.diags.is_empty(), "phantom findings: {:?}", report.diags);
+    }
+}

@@ -1,0 +1,68 @@
+//! Golden test pinning the `--sarif` output shape.
+//!
+//! CI annotators parse this format; accidental shape drift (renamed keys,
+//! reordered rules, changed locations) must show up as a test diff. To
+//! regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p analyzer --test sarif
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const GOLDEN: &str = "tests/golden/float_exact_compare.sarif";
+
+#[test]
+fn sarif_output_matches_golden() {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    // Run from the crate root with a relative path so the artifact URI in
+    // the output is machine-independent.
+    let out = Command::new(env!("CARGO_BIN_EXE_analyzer"))
+        .current_dir(&manifest)
+        .arg("check")
+        .arg("--sarif")
+        .arg("fixtures/float_exact_compare.rs")
+        .output()
+        .expect("failed to spawn the analyzer binary");
+    assert!(!out.status.success(), "the fixture must produce a finding");
+    let got = String::from_utf8(out.stdout).expect("SARIF must be UTF-8");
+
+    let golden_path = manifest.join(GOLDEN);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path)
+        .expect("golden file missing; run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        got, want,
+        "SARIF shape drifted from {GOLDEN}; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// Independent of the golden bytes: the invariants every SARIF consumer
+/// relies on, so a regenerated golden can't silently bless a broken shape.
+#[test]
+fn sarif_structural_invariants() {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let out = Command::new(env!("CARGO_BIN_EXE_analyzer"))
+        .current_dir(&manifest)
+        .arg("check")
+        .arg("--sarif")
+        .arg("fixtures/float_exact_compare.rs")
+        .output()
+        .expect("failed to spawn the analyzer binary");
+    let got = String::from_utf8(out.stdout).expect("SARIF must be UTF-8");
+    for needle in [
+        "\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\"",
+        "\"version\": \"2.1.0\"",
+        "\"name\": \"analyzer\"",
+        "\"ruleId\": \"float-exact-compare\"",
+        "\"uri\": \"fixtures/float_exact_compare.rs\"",
+        "\"startLine\": 4",
+        "\"level\": \"error\"",
+    ] {
+        assert!(got.contains(needle), "missing {needle}\n{got}");
+    }
+}

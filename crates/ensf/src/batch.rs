@@ -137,7 +137,7 @@ impl BatchedScore {
         matmul_slices_affine_into(weights, &self.gathered, b, j, d, z, alpha * inv_b2, -inv_b2, out);
 
         if let Some(t0) = timer {
-            telemetry::histogram_record("ensf.score.secs", t0.elapsed().as_secs_f64());
+            telemetry::histogram_record("ensf.score.secs", t0.elapsed().as_secs_f64()); // lint: allow(nondeterministic-api, reason="telemetry wall-clock timing; never feeds the numerics")
         }
     }
 }
@@ -181,7 +181,6 @@ impl BatchScratch {
 /// for operation — exponential linear step, explicit prior score, final-step
 /// noise omission, damped likelihood pull — so the two paths agree to
 /// floating-point reassociation and draw identical noise.
-// lint: no_alloc
 #[allow(clippy::too_many_arguments)]
 pub fn reverse_sde_assimilate_batched<R: Rng>(
     z: &mut [f64],
@@ -194,12 +193,33 @@ pub fn reverse_sde_assimilate_batched<R: Rng>(
     rngs: &mut [R],
     scratch: &mut BatchScratch,
 ) {
+    // The one allocation of the whole integration: the time grid, computed
+    // once up front. The stepping core below is allocation-free.
+    let times = grid.points(schedule, n_steps);
+    telemetry::counter_add("ensf.sde.euler_steps", ((times.len() - 1) * rngs.len()) as u64);
+    reverse_sde_assimilate_batched_with_times(z, schedule, &times, score, obs, y, rngs, scratch);
+}
+
+/// Core of [`reverse_sde_assimilate_batched`] over a precomputed descending
+/// time grid (`1 − eps = t_0 > … > t_n = 0`, as produced by
+/// [`TimeGrid::points`]). Callers that must stay allocation-free per cycle
+/// hoist the grid into caller-owned storage and call this directly.
+// lint: no_alloc
+#[allow(clippy::too_many_arguments)]
+pub fn reverse_sde_assimilate_batched_with_times<R: Rng>(
+    z: &mut [f64],
+    schedule: &DiffusionSchedule,
+    times: &[f64],
+    score: &BatchedScore,
+    obs: &impl ObservationOperator,
+    y: &[f64],
+    rngs: &mut [R],
+    scratch: &mut BatchScratch,
+) {
     let dim = score.dim();
     let j = score.batch_len();
     let b = rngs.len();
     assert_eq!(z.len(), b * dim, "particle block shape mismatch");
-    let times = grid.points(schedule, n_steps);
-    telemetry::counter_add("ensf.sde.euler_steps", ((times.len() - 1) * b) as u64);
     let sigma_obs_sq = obs.sigma() * obs.sigma();
     // All five buffers live for the whole integration: the step loop below
     // is allocation-free.

@@ -259,7 +259,6 @@ fn flow_step(
 /// for operation, so the two paths agree to floating-point reassociation
 /// (the same contract the SDE pair has). No RNG parameter: after the
 /// caller's initial fill the integration is a pure function of the block.
-// lint: no_alloc
 #[allow(clippy::too_many_arguments)]
 pub fn probability_flow_assimilate_batched(
     z: &mut [f64],
@@ -273,12 +272,36 @@ pub fn probability_flow_assimilate_batched(
     y: &[f64],
     scratch: &mut BatchScratch,
 ) {
+    // The one allocation of the whole integration: the time grid, computed
+    // once up front. The stepping core below is allocation-free.
+    let times = grid.points(schedule, n_steps);
+    telemetry::counter_add("ensf.flow.ode_steps", ((times.len() - 1) * b) as u64);
+    probability_flow_assimilate_batched_with_times(
+        z, b, schedule, &times, score, prior_var, obs, y, scratch,
+    );
+}
+
+/// Core of [`probability_flow_assimilate_batched`] over a precomputed
+/// descending time grid (as produced by [`TimeGrid::points`]). Callers that
+/// must stay allocation-free per cycle hoist the grid into caller-owned
+/// storage and call this directly.
+// lint: no_alloc
+#[allow(clippy::too_many_arguments)]
+pub fn probability_flow_assimilate_batched_with_times(
+    z: &mut [f64],
+    b: usize,
+    schedule: &DiffusionSchedule,
+    times: &[f64],
+    score: &BatchedScore,
+    prior_var: &[f64],
+    obs: &impl ObservationOperator,
+    y: &[f64],
+    scratch: &mut BatchScratch,
+) {
     let dim = score.dim();
     let j = score.batch_len();
     assert_eq!(z.len(), b * dim, "particle block shape mismatch");
     assert_eq!(prior_var.len(), dim, "prior variance shape mismatch");
-    let times = grid.points(schedule, n_steps);
-    telemetry::counter_add("ensf.flow.ode_steps", ((times.len() - 1) * b) as u64);
     let r = obs.sigma() * obs.sigma();
     let [s, w, znorm, xh, lik, jsq] =
         scratch.buffers_mut().slices([b * dim, b * j, b, dim, dim, dim]);

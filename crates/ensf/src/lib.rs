@@ -52,11 +52,14 @@ mod schedule;
 mod score;
 mod sde;
 
-pub use batch::{reverse_sde_assimilate_batched, BatchScratch, BatchedScore};
+pub use batch::{
+    reverse_sde_assimilate_batched, reverse_sde_assimilate_batched_with_times, BatchScratch,
+    BatchedScore,
+};
 pub use filter::{relax_spread, AnalysisMethod, Ensf, EnsfConfig, ScoreKernel};
 pub use flow::{
     batch_variance, probability_flow_assimilate, probability_flow_assimilate_batched,
-    smooth_variance,
+    probability_flow_assimilate_batched_with_times, smooth_variance,
 };
 pub use obs::{ArctanObs, CubicObs, IdentityObs, ObservationOperator, StridedObs};
 pub use schedule::{Damping, DiffusionSchedule};

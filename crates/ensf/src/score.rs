@@ -117,7 +117,7 @@ impl<'a> ScoreEstimator<'a> {
             }
         }
         if let Some(t0) = timer {
-            telemetry::histogram_record("ensf.score.secs", t0.elapsed().as_secs_f64());
+            telemetry::histogram_record("ensf.score.secs", t0.elapsed().as_secs_f64()); // lint: allow(nondeterministic-api, reason="telemetry wall-clock timing; never feeds the numerics")
         }
         max_lw + total.ln()
     }

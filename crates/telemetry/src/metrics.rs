@@ -185,8 +185,8 @@ fn counter(name: &str) -> &'static Counter {
         if let Some(c) = s.counters.get(name) {
             return *c;
         }
-        let c: &'static Counter = Box::leak(Box::new(Counter::new()));
-        s.counters.insert(name.to_string(), c);
+        let c: &'static Counter = Box::leak(Box::new(Counter::new())); // lint: allow(no-alloc-reachable, reason="one-time registration on first use; the steady-state add path only loads the cached &'static")
+        s.counters.insert(name.to_string(), c); // lint: allow(no-alloc-reachable, reason="one-time registration on first use; the steady-state add path only loads the cached &'static")
         c
     })
 }
@@ -234,8 +234,8 @@ pub fn histogram_record(name: &str, value: f64) {
         if let Some(h) = s.histograms.get(name) {
             return *h;
         }
-        let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
-        s.histograms.insert(name.to_string(), h);
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new())); // lint: allow(no-alloc-reachable, reason="one-time registration on first use; the steady-state record path only loads the cached &'static")
+        s.histograms.insert(name.to_string(), h); // lint: allow(no-alloc-reachable, reason="one-time registration on first use; the steady-state record path only loads the cached &'static")
         h
     });
     h.record(value);
