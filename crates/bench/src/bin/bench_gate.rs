@@ -1,9 +1,9 @@
 //! Bench-regression gate: compares a fresh `perf_suite` / `scaling_suite`
-//! / `elastic_suite` run against the committed baselines and fails on
-//! large regressions.
+//! / `elastic_suite` / `scenario_suite` run against the committed
+//! baselines and fails on large regressions.
 //!
 //! The committed `BENCH_perf.json` / `BENCH_scaling.json` /
-//! `BENCH_elastic.json` hold paper-scale
+//! `BENCH_elastic.json` / `BENCH_scenarios.json` hold paper-scale
 //! shapes, while CI runs the suites with `--quick` (small shapes), so raw
 //! wall times are not comparable across the pair. The gate therefore
 //! checks **shape-independent derived ratios** — kernel speedups, scaling
@@ -217,6 +217,73 @@ const ELASTIC_METRICS: &[Metric] = &[
     },
 ];
 
+/// A named field of one scenario-suite `(scenario, method)` row.
+fn scenario_field(doc: &Json, scenario: &str, method: &str, field: &str) -> Option<f64> {
+    let rows = doc.get("results")?.get("scenarios")?.as_arr()?;
+    rows.iter()
+        .find(|r| {
+            r.get("scenario").and_then(Json::as_str) == Some(scenario)
+                && r.get("method").and_then(Json::as_str) == Some(method)
+        })?
+        .get(field)?
+        .as_f64()
+}
+
+/// Unobserved-region RMSE advantage of the inpainting EnSF over the
+/// mask-ignoring baseline on the headline 25 % block outage, scaled
+/// against the ≥1.25× acceptance target and clamped at 1.0 (the
+/// requirement is "at least 25 % better", not a particular margin; in
+/// practice the ratio is ~10×, and a diverged baseline serializes its
+/// RMSE as `null` ⇒ skip, caught by the divergence of the ratio itself
+/// on the committed artifact).
+fn scenario_inpaint_advantage(doc: &Json) -> Option<f64> {
+    let inpaint = scenario_field(doc, "block25", "ensf_inpaint", "rmse_unobserved")?;
+    let ignore = scenario_field(doc, "block25", "ensf_ignore", "rmse_unobserved")?;
+    (inpaint > 0.0).then(|| (ignore / inpaint / 1.25).min(1.0))
+}
+
+/// The same unobserved-region advantage for the few-step probability-flow
+/// inpainting variant.
+fn scenario_flow_advantage(doc: &Json) -> Option<f64> {
+    let inpaint = scenario_field(doc, "block25", "flow_inpaint", "rmse_unobserved")?;
+    let ignore = scenario_field(doc, "block25", "ensf_ignore", "rmse_unobserved")?;
+    (inpaint > 0.0).then(|| (ignore / inpaint / 1.25).min(1.0))
+}
+
+/// Latency side of the headline: the inpainting analysis must fit the
+/// masked-LETKF latency budget. Scaled `letkf_secs / inpaint_secs`,
+/// clamped at 1.0 (≥1 ⇒ inpainting is at least as fast).
+fn scenario_inpaint_latency(doc: &Json) -> Option<f64> {
+    let inpaint = scenario_field(doc, "block25", "ensf_inpaint", "analysis_secs")?;
+    let letkf = scenario_field(doc, "block25", "letkf_masked", "analysis_secs")?;
+    (inpaint > 0.0).then(|| (letkf / inpaint).min(1.0))
+}
+
+/// The scenario-suite metrics. The advantage ratios clamp at their
+/// acceptance targets, so the committed baseline must demonstrate the
+/// full headline (scaled 1.0) while quick fresh runs only need to stay
+/// within tolerance of it.
+const SCENARIO_METRICS: &[Metric] = &[
+    Metric {
+        name: "scenario.inpaint_advantage",
+        tolerance: 0.50,
+        min_baseline: Some(1.0),
+        extract: scenario_inpaint_advantage,
+    },
+    Metric {
+        name: "scenario.flow_advantage",
+        tolerance: 0.50,
+        min_baseline: Some(1.0),
+        extract: scenario_flow_advantage,
+    },
+    Metric {
+        name: "scenario.inpaint_latency_vs_letkf",
+        tolerance: 0.50,
+        min_baseline: Some(1.0),
+        extract: scenario_inpaint_latency,
+    },
+];
+
 /// Outcome of one metric comparison.
 #[derive(Debug, PartialEq)]
 enum Verdict {
@@ -318,10 +385,17 @@ fn main() {
         failures += gate_suite("elastic_suite", ELASTIC_METRICS, &fresh, &base);
         compared += 1;
     }
+    if let (Some(fresh), Some(base)) =
+        (load(&args, "--fresh-scenarios"), load(&args, "--baseline-scenarios"))
+    {
+        failures += gate_suite("scenario_suite", SCENARIO_METRICS, &fresh, &base);
+        compared += 1;
+    }
     if compared == 0 {
         eprintln!(
             "bench_gate: nothing to compare; pass --fresh-perf/--baseline-perf, \
-             --fresh-scaling/--baseline-scaling and/or --fresh-elastic/--baseline-elastic"
+             --fresh-scaling/--baseline-scaling, --fresh-elastic/--baseline-elastic \
+             and/or --fresh-scenarios/--baseline-scenarios"
         );
         std::process::exit(2);
     }
@@ -401,6 +475,80 @@ mod tests {
             "results",
             Json::obj(vec![("scenarios", Json::Arr(scenarios))]),
         )])
+    }
+
+    /// `(scenario, method, rmse_unobserved, analysis_secs)` rows.
+    fn scenario_doc(rows: &[(&str, &str, f64, f64)]) -> Json {
+        let scenarios: Vec<Json> = rows
+            .iter()
+            .map(|&(scenario, method, unobs, secs)| {
+                Json::obj(vec![
+                    ("scenario", Json::from(scenario)),
+                    ("method", Json::from(method)),
+                    ("rmse_unobserved", Json::Num(unobs)),
+                    ("analysis_secs", Json::Num(secs)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![(
+            "results",
+            Json::obj(vec![("scenarios", Json::Arr(scenarios))]),
+        )])
+    }
+
+    #[test]
+    fn scenario_extractors_scale_against_the_acceptance_targets() {
+        let doc = scenario_doc(&[
+            ("block25", "ensf_inpaint", 0.0626, 0.02),
+            ("block25", "flow_inpaint", 0.1228, 0.02),
+            ("block25", "ensf_ignore", 1.0856, 0.018),
+            ("block25", "letkf_masked", 0.0065, 0.41),
+        ]);
+        // 17.3× and 8.8× against the 1.25× target clamp to 1.0; LETKF is
+        // 20× slower, so the latency ratio clamps too.
+        assert_eq!(scenario_inpaint_advantage(&doc), Some(1.0));
+        assert_eq!(scenario_flow_advantage(&doc), Some(1.0));
+        assert_eq!(scenario_inpaint_latency(&doc), Some(1.0));
+        // A narrow 1.1× win scales below the clamp.
+        let narrow = scenario_doc(&[
+            ("block25", "ensf_inpaint", 1.0, 0.02),
+            ("block25", "ensf_ignore", 1.1, 0.018),
+        ]);
+        let v = scenario_inpaint_advantage(&narrow).unwrap();
+        assert!((v - 1.1 / 1.25).abs() < 1e-12);
+        // Missing rows and degenerate values are skips, not failures.
+        assert_eq!(scenario_flow_advantage(&narrow), None);
+        assert_eq!(scenario_inpaint_advantage(&Json::Null), None);
+        let degenerate = scenario_doc(&[
+            ("block25", "ensf_inpaint", 0.0, 0.02),
+            ("block25", "ensf_ignore", 1.0, 0.018),
+        ]);
+        assert_eq!(scenario_inpaint_advantage(&degenerate), None);
+    }
+
+    #[test]
+    fn scenario_advantage_floor_binds_on_the_committed_artifact() {
+        let m =
+            SCENARIO_METRICS.iter().find(|m| m.name == "scenario.inpaint_advantage").unwrap();
+        // A committed baseline that fails the ≥1.25× headline fails the
+        // gate outright, even against an identical fresh run.
+        let weak = scenario_doc(&[
+            ("block25", "ensf_inpaint", 1.0, 0.02),
+            ("block25", "ensf_ignore", 1.1, 0.018),
+        ]);
+        assert!(matches!(judge(m, &weak, &weak), Verdict::BaselineBelowFloor { .. }));
+        // A strong baseline with a jittery quick fresh run inside the 50 %
+        // tolerance passes; a fresh run that loses the advantage fails.
+        let strong = scenario_doc(&[
+            ("block25", "ensf_inpaint", 0.06, 0.02),
+            ("block25", "ensf_ignore", 1.08, 0.018),
+        ]);
+        let jittery = scenario_doc(&[
+            ("block25", "ensf_inpaint", 1.0, 0.02),
+            ("block25", "ensf_ignore", 0.6, 0.018),
+        ]);
+        assert!(matches!(judge(m, &strong, &strong), Verdict::Ok { .. }));
+        assert!(matches!(judge(m, &jittery, &strong), Verdict::Regressed { .. }));
     }
 
     #[test]

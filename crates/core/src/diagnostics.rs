@@ -72,9 +72,81 @@ pub fn complete(
     }
 }
 
+/// Projects an ensemble into the observation space of a masked operator:
+/// each member is mapped through `h` at the observed components for the
+/// given cycle, yielding a reduced ensemble whose dimension matches the
+/// shrunk observation vector.
+pub fn project_ensemble(
+    ens: &Ensemble,
+    operator: crate::osse::ObsOperatorKind,
+    mask: crate::osse::MaskKind,
+    cycle: u64,
+) -> Ensemble {
+    let observed = mask.observed_indices(ens.dim(), cycle);
+    let mut out = Ensemble::zeros(ens.members(), observed.len());
+    for m in 0..ens.members() {
+        let src = ens.member(m);
+        let dst = out.member_mut(m);
+        for (d, &i) in dst.iter_mut().zip(&observed) {
+            *d = operator.h(src[i]);
+        }
+    }
+    out
+}
+
+/// Mask-aware [`forecast_stats`]: full masks take the dense path bitwise
+/// unchanged; partial masks project the forecast ensemble through `h` at
+/// the cycle's observed components so the statistics compare like with
+/// like against the shrunk observation vector.
+pub fn forecast_stats_masked(
+    forecast: &Ensemble,
+    y: &[f64],
+    sigma_obs: f64,
+    operator: crate::osse::ObsOperatorKind,
+    mask: crate::osse::MaskKind,
+    cycle: u64,
+) -> ForecastObsStats {
+    if mask.is_full() {
+        forecast_stats(forecast, y, sigma_obs)
+    } else {
+        forecast_stats(&project_ensemble(forecast, operator, mask, cycle), y, sigma_obs)
+    }
+}
+
+/// Mask-aware [`complete`] (same projection contract as
+/// [`forecast_stats_masked`]).
+pub fn complete_masked(
+    pre: &ForecastObsStats,
+    analysis: &Ensemble,
+    y: &[f64],
+    skill_rmse: f64,
+    operator: crate::osse::ObsOperatorKind,
+    mask: crate::osse::MaskKind,
+    cycle: u64,
+) -> DaDiagnostics {
+    if mask.is_full() {
+        complete(pre, analysis, y, skill_rmse)
+    } else {
+        // Spread–skill still uses the full-state analysis spread and the
+        // truth-based RMSE; only the obs-space residuals are projected.
+        let projected = project_ensemble(analysis, operator, mask, cycle);
+        let (oa_mean, oa_var) = sd::residual_moments(&projected.mean(), y);
+        DaDiagnostics {
+            of_mean: pre.of_mean,
+            of_var: pre.of_var,
+            oa_mean,
+            oa_var,
+            chi2: pre.chi2,
+            spread_skill: sd::spread_skill(analysis.spread(), skill_rmse),
+            rank_hist: pre.rank_hist.clone(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::osse::{MaskKind, ObsOperatorKind};
 
     fn three_member() -> Ensemble {
         Ensemble::from_members(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]])
@@ -105,5 +177,42 @@ mod tests {
         assert!((d.spread_skill - ens.spread() / 0.1).abs() < 1e-12);
         // Zero skill never yields a non-finite ratio.
         assert_eq!(complete(&pre, &ens, &y, 0.0).spread_skill, 0.0);
+    }
+
+    #[test]
+    fn masked_diagnostics_project_to_observed_components() {
+        let ens = three_member();
+        // Observe only component 1.
+        let mask = MaskKind::Block { start: 0, len: 1 };
+        let y = [1.5];
+        let pre = forecast_stats_masked(&ens, &y, 0.5, ObsOperatorKind::Identity, mask, 0);
+        // Projected mean is [2.0]: residual −0.5.
+        assert!((pre.of_mean + 0.5).abs() < 1e-15);
+        let d = complete_masked(&pre, &ens, &y, 0.1, ObsOperatorKind::Identity, mask, 0);
+        assert!((d.oa_mean + 0.5).abs() < 1e-15);
+        assert!((d.spread_skill - ens.spread() / 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_mask_diagnostics_take_the_dense_path() {
+        let ens = three_member();
+        let y = [2.5, 1.5];
+        let dense = forecast_stats(&ens, &y, 0.5);
+        let via_mask =
+            forecast_stats_masked(&ens, &y, 0.5, ObsOperatorKind::Identity, MaskKind::Full, 3);
+        assert_eq!(dense.of_mean.to_bits(), via_mask.of_mean.to_bits());
+        assert_eq!(dense.chi2.to_bits(), via_mask.chi2.to_bits());
+        assert_eq!(dense.rank_hist, via_mask.rank_hist);
+    }
+
+    #[test]
+    fn project_ensemble_applies_operator_at_observed_indices() {
+        let ens = three_member();
+        let mask = MaskKind::Block { start: 1, len: 1 };
+        let gain = 2.0;
+        let p = project_ensemble(&ens, ObsOperatorKind::Arctan { gain }, mask, 0);
+        assert_eq!(p.dim(), 1);
+        assert_eq!(p.members(), 3);
+        assert!((p.member(2)[0] - (gain * 3.0f64).atan()).abs() < 1e-15);
     }
 }

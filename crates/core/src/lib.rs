@@ -35,10 +35,12 @@ pub mod diagnostics;
 mod error;
 pub mod experiments;
 mod forecast;
+pub mod inpaint;
 mod lorenz96;
 mod model_error;
 pub mod osse;
 pub mod resilience;
+pub mod scenario;
 mod surrogate;
 mod traits;
 
@@ -47,8 +49,10 @@ pub use forecast::SqgForecast;
 pub use lorenz96::{Lorenz96, Lorenz96Params};
 pub use model_error::{ModelError, ModelErrorConfig};
 pub use surrogate::VitSurrogate;
-pub use osse::ObsOperatorKind;
+pub use osse::{MaskKind, ObsOperatorKind};
+pub use scenario::{run_scenario, standard_scenarios, ScenarioMethod, ScenarioResult, ScenarioSpec};
 pub use traits::{
     AnalysisScheme, ArctanEnsfScheme, EnsfScheme, FlowMatchingArctanEnsfScheme,
-    FlowMatchingEnsfScheme, ForecastModel, LetkfScheme, NoAssimilation, SparseEnsfScheme,
+    FlowMatchingEnsfScheme, ForecastModel, LetkfScheme, MaskIgnoringEnsfScheme, MaskedEnsfScheme,
+    MaskedLetkfScheme, NoAssimilation, SparseEnsfScheme,
 };

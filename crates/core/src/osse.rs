@@ -48,6 +48,110 @@ impl ObsOperatorKind {
     }
 }
 
+/// Which state components the observing network actually sees.
+///
+/// A mask composes with [`ObsOperatorKind`]: the operator maps state to
+/// observation space componentwise, the mask then *selects* which of those
+/// components reach the filter. The observation vector shrinks to the
+/// observed components in ascending state-index order — unobserved state is
+/// reconstructed by the filter (inpainting), never fabricated by the OSSE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaskKind {
+    /// Every component observed (the paper's baseline network).
+    #[default]
+    Full,
+    /// Contiguous sensor outage: components `[start, start + len)` are
+    /// unobserved (clamped to the state dimension).
+    Block {
+        /// First unobserved component.
+        start: usize,
+        /// Number of unobserved components.
+        len: usize,
+    },
+    /// Strided network with gaps: component `i` is observed iff
+    /// `i % stride == phase`.
+    Strided {
+        /// Spacing between observed components (≥ 1).
+        stride: usize,
+        /// Offset of the observed comb (< `stride`).
+        phase: usize,
+    },
+    /// Moving satellite track: a wrapping window of `width` observed
+    /// components whose start advances by `speed` components per cycle.
+    /// Periodic in the cycle index with period dividing the state dim.
+    Track {
+        /// Observed window width (≥ 1).
+        width: usize,
+        /// Window advance per assimilation cycle.
+        speed: usize,
+    },
+}
+
+impl MaskKind {
+    /// True when the mask hides nothing (all fast paths stay bitwise
+    /// identical to the pre-mask code under this).
+    pub fn is_full(self) -> bool {
+        match self {
+            MaskKind::Full => true,
+            MaskKind::Block { len, .. } => len == 0,
+            MaskKind::Strided { stride, .. } => stride <= 1,
+            MaskKind::Track { width: _, speed: _ } => false,
+        }
+    }
+
+    /// Is state component `i` observed at assimilation `cycle` (0-based)
+    /// in a state of dimension `dim`?
+    pub fn is_observed(self, i: usize, dim: usize, cycle: u64) -> bool {
+        debug_assert!(i < dim);
+        match self {
+            MaskKind::Full => true,
+            MaskKind::Block { start, len } => !(i >= start && i < start.saturating_add(len)),
+            MaskKind::Strided { stride, phase } => {
+                if stride <= 1 {
+                    true
+                } else {
+                    i % stride == phase % stride
+                }
+            }
+            MaskKind::Track { width, speed } => {
+                if width >= dim {
+                    return true;
+                }
+                let d = dim as u64;
+                let start = ((speed as u64 % d) * (cycle % d)) % d;
+                ((i as u64 + d - start) % d) < width as u64
+            }
+        }
+    }
+
+    /// Ascending state indices observed at `cycle` — the bijection from
+    /// observation-vector slots onto unmasked components.
+    pub fn observed_indices(self, dim: usize, cycle: u64) -> Vec<usize> {
+        (0..dim).filter(|&i| self.is_observed(i, dim, cycle)).collect()
+    }
+
+    /// Number of observed components at `cycle`.
+    pub fn obs_dim(self, dim: usize, cycle: u64) -> usize {
+        match self {
+            MaskKind::Full => dim,
+            MaskKind::Block { start, len } => {
+                dim - (start.saturating_add(len)).min(dim).saturating_sub(start.min(dim))
+            }
+            _ => (0..dim).filter(|&i| self.is_observed(i, dim, cycle)).count(),
+        }
+    }
+
+    /// Short label for scenario names and telemetry keys.
+    pub fn label(self) -> String {
+        match self {
+            MaskKind::Full => "full".to_string(),
+            MaskKind::Block { start, len } => format!("block{start}+{len}"),
+            MaskKind::Strided { stride, phase } => format!("stride{stride}p{phase}"),
+            MaskKind::Track { width, speed } => format!("track{width}v{speed}"),
+        }
+    }
+}
+
 /// OSSE configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OsseConfig {
@@ -61,6 +165,10 @@ pub struct OsseConfig {
     pub obs_sigma: f64,
     /// Observation operator `h` (identity in the paper's baseline).
     pub obs_operator: ObsOperatorKind,
+    /// Observing-network mask (full coverage in the paper's baseline).
+    /// Non-full masks shrink each cycle's observation vector to the
+    /// observed components, in ascending state-index order.
+    pub obs_mask: MaskKind,
     /// Ensemble size `M` (20 in the paper).
     pub ens_size: usize,
     /// Initial-condition perturbation std for ensemble generation.
@@ -79,6 +187,7 @@ impl Default for OsseConfig {
             obs_interval_hours: 12.0,
             obs_sigma: 0.01,
             obs_operator: ObsOperatorKind::Identity,
+            obs_mask: MaskKind::Full,
             ens_size: 20,
             ic_sigma: 0.02,
             spinup_steps: 500,
@@ -122,16 +231,32 @@ pub fn nature_run_with_error(
     let mut truth = Vec::with_capacity(config.cycles + 1);
     let mut observations = Vec::with_capacity(config.cycles);
     truth.push(state.clone());
-    for _ in 0..config.cycles {
+    for cycle in 0..config.cycles {
         model.forecast(&mut state, steps);
         if let Some(err) = error.as_mut() {
             err.perturb(&mut state);
         }
         truth.push(state.clone());
-        let obs: Vec<f64> = state
-            .iter()
-            .map(|&v| config.obs_operator.h(v) + config.obs_sigma * standard_normal(&mut rng))
-            .collect();
+        // The full-mask arm must stay byte-identical to the pre-mask code:
+        // one normal per state component from the same stream. The masked
+        // arm draws one normal per *observed* component (same stream, fewer
+        // draws), in ascending state-index order.
+        let obs: Vec<f64> = if config.obs_mask.is_full() {
+            state
+                .iter()
+                .map(|&v| config.obs_operator.h(v) + config.obs_sigma * standard_normal(&mut rng))
+                .collect()
+        } else {
+            config
+                .obs_mask
+                .observed_indices(state.len(), cycle as u64)
+                .into_iter()
+                .map(|i| {
+                    config.obs_operator.h(state[i])
+                        + config.obs_sigma * standard_normal(&mut rng)
+                })
+                .collect()
+        };
         observations.push(obs);
     }
     // Climatology: std over all truth states about their global mean.
@@ -243,12 +368,16 @@ pub fn run_experiment(
         model.forecast_ensemble(&mut ensemble, config.obs_interval_hours);
         let forecast_secs = t_fc.map(|t| t.elapsed().as_secs_f64());
         // Forecast half of the per-cycle diagnostics, captured before the
-        // analysis overwrites the forecast ensemble.
+        // analysis overwrites the forecast ensemble (projected through the
+        // mask when the network is partial).
         let pre_diag = telemetry::enabled().then(|| {
-            crate::diagnostics::forecast_stats(
+            crate::diagnostics::forecast_stats_masked(
                 &ensemble,
                 &nature.observations[cycle],
                 config.obs_sigma,
+                config.obs_operator,
+                config.obs_mask,
+                cycle as u64,
             )
         });
         // Analysis.
@@ -277,12 +406,15 @@ pub fn run_experiment(
                 ],
                 events: Vec::new(),
                 diagnostics: pre_diag.as_ref().map(|pre| {
-                    crate::diagnostics::complete(
+                    crate::diagnostics::complete_masked(
                         pre,
                         &ensemble,
                         &nature.observations[cycle],
                         // INVARIANT: rmse was pushed for this cycle above.
                         *rmse.last().unwrap(),
+                        config.obs_operator,
+                        config.obs_mask,
+                        cycle as u64,
                     )
                 }),
             });
@@ -374,6 +506,67 @@ mod tests {
             ..tiny_config()
         });
         assert_eq!(id.observations, id2.observations);
+    }
+
+    #[test]
+    fn full_mask_nature_run_is_bitwise_unchanged() {
+        // The mask plumbing must not perturb the baseline RNG stream.
+        let plain = nature_run(&tiny_config());
+        let full = nature_run(&OsseConfig { obs_mask: MaskKind::Full, ..tiny_config() });
+        assert_eq!(plain.observations, full.observations);
+        assert_eq!(plain.truth, full.truth);
+    }
+
+    #[test]
+    fn block_mask_shrinks_observations_to_observed_components() {
+        let mask = MaskKind::Block { start: 128, len: 128 };
+        let cfg = OsseConfig { obs_mask: mask, ..tiny_config() };
+        let nr = nature_run(&cfg);
+        for (cycle, (obs, truth)) in nr.observations.iter().zip(&nr.truth[1..]).enumerate() {
+            let idx = mask.observed_indices(truth.len(), cycle as u64);
+            assert_eq!(obs.len(), idx.len());
+            assert_eq!(obs.len(), 512 - 128);
+            let h_truth: Vec<f64> = idx.iter().map(|&i| truth[i]).collect();
+            let err = stats::metrics::rmse(obs, &h_truth);
+            assert!((err - cfg.obs_sigma).abs() < 0.3 * cfg.obs_sigma, "{err}");
+        }
+    }
+
+    #[test]
+    fn track_mask_moves_with_the_cycle_index() {
+        let mask = MaskKind::Track { width: 100, speed: 37 };
+        let cfg = OsseConfig { obs_mask: mask, ..tiny_config() };
+        let nr = nature_run(&cfg);
+        let dim = nr.truth[0].len();
+        let mut seen: Vec<Vec<usize>> = Vec::new();
+        for (cycle, (obs, truth)) in nr.observations.iter().zip(&nr.truth[1..]).enumerate() {
+            let idx = mask.observed_indices(dim, cycle as u64);
+            assert_eq!(obs.len(), idx.len());
+            assert_eq!(obs.len(), 100);
+            let h_truth: Vec<f64> = idx.iter().map(|&i| truth[i]).collect();
+            assert!(stats::metrics::rmse(obs, &h_truth) < 2.0 * cfg.obs_sigma);
+            seen.push(idx);
+        }
+        assert_ne!(seen[0], seen[1], "the track must move between cycles");
+    }
+
+    #[test]
+    fn mask_obs_dim_matches_observed_indices() {
+        let dim = 512;
+        let masks = [
+            MaskKind::Full,
+            MaskKind::Block { start: 0, len: 64 },
+            MaskKind::Block { start: 400, len: 200 }, // clamped at dim
+            MaskKind::Strided { stride: 4, phase: 1 },
+            MaskKind::Track { width: 77, speed: 13 },
+        ];
+        for mask in masks {
+            for cycle in [0u64, 1, 7, 511, 512] {
+                let idx = mask.observed_indices(dim, cycle);
+                assert_eq!(idx.len(), mask.obs_dim(dim, cycle), "{mask:?} cycle {cycle}");
+                assert!(idx.windows(2).all(|w| w[0] < w[1]), "ascending, unique");
+            }
+        }
     }
 
     #[test]

@@ -317,11 +317,25 @@ fn cycle_loop(
                 None
             }
             Some(ObsFault::Thin { stride }) if stride > 1 => {
-                // Unobserved components are back-filled with the forecast
-                // mean: the scheme sees zero innovation there, so only the
-                // surviving network constrains the analysis.
-                let mut y = ensemble.mean();
+                // Thinned components are back-filled with the forecast
+                // mean's observation equivalent: the scheme sees zero
+                // innovation there, so only the surviving network
+                // constrains the analysis. Under a masked network the
+                // batch is already the shrunk observed vector, so thinning
+                // strides over observation slots, back-filling the rest
+                // with `h(x̄_f)` at the corresponding state indices.
                 let real = &nature.observations[cycle];
+                let mut y = if config.obs_mask.is_full() {
+                    ensemble.mean()
+                } else {
+                    let mean = ensemble.mean();
+                    config
+                        .obs_mask
+                        .observed_indices(dim, cycle as u64)
+                        .into_iter()
+                        .map(|i| config.obs_operator.h(mean[i]))
+                        .collect()
+                };
                 for i in (0..y.len()).step_by(stride) {
                     y[i] = real[i];
                 }
@@ -335,9 +349,14 @@ fn cycle_loop(
         // chi², rank histogram) — must be captured before the analysis
         // overwrites the forecast ensemble.
         let pre_diag = match (&obs, telemetry::enabled()) {
-            (Some(y), true) => {
-                Some(crate::diagnostics::forecast_stats(&ensemble, y, config.obs_sigma))
-            }
+            (Some(y), true) => Some(crate::diagnostics::forecast_stats_masked(
+                &ensemble,
+                y,
+                config.obs_sigma,
+                config.obs_operator,
+                config.obs_mask,
+                cycle as u64,
+            )),
             _ => None,
         };
 
@@ -421,8 +440,20 @@ fn cycle_loop(
         // threshold — then the ensemble is loosened by inflation.
         if let Some(y) = &obs {
             // Compare in observation space: map the analysis mean through the
-            // configured operator (identity is an elementwise no-op).
-            let mean_a = config.obs_operator.apply(&ensemble.mean());
+            // configured operator (identity is an elementwise no-op) at the
+            // components the mask actually observes — on partial networks
+            // the innovation must not mix unobserved state into the RMSE.
+            let mean_a = if config.obs_mask.is_full() {
+                config.obs_operator.apply(&ensemble.mean())
+            } else {
+                let mean = ensemble.mean();
+                config
+                    .obs_mask
+                    .observed_indices(dim, cycle as u64)
+                    .into_iter()
+                    .map(|i| config.obs_operator.h(mean[i]))
+                    .collect()
+            };
             let innovation = stats::metrics::rmse(&mean_a, y);
             let ratio = stats::diagnostics::spread_skill(ensemble.spread(), innovation);
             if innovation > policy.divergence_factor * nature.climatology_sd
@@ -485,7 +516,16 @@ fn cycle_loop(
             telemetry::gauge_set("supervisor.divergence_flags", counters.divergence_flags as f64);
             let diagnostics = pre_diag.as_ref().zip(obs.as_ref()).map(|(pre, y)| {
                 // INVARIANT: rmse was pushed for this cycle above.
-                crate::diagnostics::complete(pre, &ensemble, y, *rmse.last().unwrap())
+                let skill = *rmse.last().unwrap();
+                crate::diagnostics::complete_masked(
+                    pre,
+                    &ensemble,
+                    y,
+                    skill,
+                    config.obs_operator,
+                    config.obs_mask,
+                    cycle as u64,
+                )
             });
             if let Some(d) = &diagnostics {
                 telemetry::gauge_set("supervisor.spread_skill", d.spread_skill);
@@ -774,6 +814,40 @@ mod tests {
         assert_eq!(run.counters.analysis_fallbacks, 0);
         assert_eq!(run.counters.degraded_cycles, 0);
         assert!(run.cycles[1].events.iter().any(|e| e == "analysis_retry:1"));
+    }
+
+    #[test]
+    fn masked_network_survives_supervision_and_thinning() {
+        use crate::osse::MaskKind;
+        use crate::traits::MaskedEnsfScheme;
+        let mask = MaskKind::Block { start: 32, len: 32 };
+        let cfg = OsseConfig { obs_mask: mask, ..tiny_config(4) };
+        let nr = nature_run(&cfg);
+        let dim = nr.truth[0].len();
+        assert_eq!(nr.observations[0].len(), dim - 32, "obs vector shrinks to the mask");
+        let mut model = SqgForecast::perfect(cfg.params.clone());
+        let mut scheme = MaskedEnsfScheme::new(
+            ensf::EnsfConfig { n_steps: 15, seed: cfg.seed ^ 0xE45F, ..Default::default() },
+            dim,
+            cfg.obs_sigma,
+            cfg.obs_operator,
+            mask,
+        );
+        // Thin the already-masked batch at cycle 1: the guardrails (incl.
+        // the masked obs-space divergence check) must keep the run finite.
+        let res = ResilienceConfig {
+            plan: FaultPlan {
+                obs_faults: vec![(1, ObsFault::Thin { stride: 3 })],
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let run =
+            run_supervised("masked", &cfg, &res, &nr, &mut model, &mut scheme, None).unwrap();
+        assert!(run.cycles[1].events.iter().any(|e| e == "obs_thinned:3"));
+        assert_eq!(run.counters.degraded_cycles, 0, "thinned masked batch still assimilates");
+        assert!(run.series.rmse.iter().all(|r| r.is_finite()));
+        assert!(!run.interrupted);
     }
 
     #[test]

@@ -351,6 +351,266 @@ impl AnalysisScheme for LetkfScheme {
     }
 }
 
+/// Runs one dense analysis through the operator kind's batched-GEMM-ready
+/// dense observation operator (shared by the masked schemes, which
+/// complete the observation vector before assimilating).
+fn dense_analyze(
+    filter: &mut ensf::Ensf,
+    forecast: &Ensemble,
+    y: &[f64],
+    dim: usize,
+    obs_sigma: f64,
+    operator: crate::osse::ObsOperatorKind,
+) -> Ensemble {
+    match operator {
+        crate::osse::ObsOperatorKind::Identity => {
+            filter.analyze(forecast, y, &ensf::IdentityObs::new(dim, obs_sigma))
+        }
+        crate::osse::ObsOperatorKind::Arctan { gain } => {
+            filter.analyze(forecast, y, &ensf::ArctanObs::with_gain(dim, obs_sigma, gain))
+        }
+    }
+}
+
+/// Inpainting-EnSF adapter over a partially observed network (Liang et
+/// al., arXiv:2501.12419): the observation vector holds only the mask's
+/// observed components; the scheme rebuilds a dense vector by harmonic
+/// inpainting of the obs-space innovation field `y − h(x̄_f)` on the
+/// two-level grid ([`crate::inpaint::harmonic_fill`]) and assimilates the
+/// completed vector through the dense batched-GEMM score kernels. Observed
+/// pixels keep their real measurements, so guidance there is exact; masked
+/// pixels receive spatially interpolated pseudo-observations, anchoring
+/// the diffusion inside the outage to real information from the
+/// surrounding network instead of leaving it to the prior score alone
+/// (which lets small ensembles drift; see the scenario bench). Pure
+/// guidance masking — score-only diffusion on masked pixels — remains
+/// available as the [`ensf::MaskedObs`] operator, which the sharded
+/// runtime partitions per tile. Serves both transport paths — set
+/// [`ensf::EnsfConfig::method`] to pick the reverse SDE or the few-step
+/// probability-flow ODE.
+///
+/// The mask's cycle index is the filter's analysis-cycle counter, so
+/// moving-track masks stay aligned with the OSSE as long as the scheme
+/// performs one analysis per assimilation cycle (checkpoint restore
+/// re-aligns it through [`AnalysisScheme::set_rng_state`]).
+pub struct MaskedEnsfScheme {
+    filter: ensf::Ensf,
+    dim: usize,
+    obs_sigma: f64,
+    operator: crate::osse::ObsOperatorKind,
+    mask: crate::osse::MaskKind,
+    name: &'static str,
+}
+
+impl MaskedEnsfScheme {
+    /// Builds the scheme for a `dim`-dimensional state observed through
+    /// `operator` at the components `mask` leaves visible.
+    pub fn new(
+        config: ensf::EnsfConfig,
+        dim: usize,
+        obs_sigma: f64,
+        operator: crate::osse::ObsOperatorKind,
+        mask: crate::osse::MaskKind,
+    ) -> Self {
+        let name = match config.method {
+            ensf::AnalysisMethod::ReverseSde => "EnSF-inpaint",
+            ensf::AnalysisMethod::FlowMatching => "FlowEnSF-inpaint",
+        };
+        MaskedEnsfScheme { filter: ensf::Ensf::new(config), dim, obs_sigma, operator, mask, name }
+    }
+}
+
+impl AnalysisScheme for MaskedEnsfScheme {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn analyze(&mut self, forecast: &Ensemble, observation: &[f64]) -> Ensemble {
+        let cycle = self.filter.cycle();
+        if self.mask.is_full() {
+            // Bitwise identical to the dense schemes: same operator, same
+            // observation vector, no fill arithmetic on the way.
+            return dense_analyze(
+                &mut self.filter,
+                forecast,
+                observation,
+                self.dim,
+                self.obs_sigma,
+                self.operator,
+            );
+        }
+        let observed = self.mask.observed_indices(self.dim, cycle);
+        assert_eq!(
+            observation.len(),
+            observed.len(),
+            "observation vector must hold exactly the mask's observed components"
+        );
+        let mean = forecast.mean();
+        // Harmonic inpainting of the obs-space innovation field: Dirichlet
+        // data at observed pixels, Laplace fill across the outage.
+        let mut innovation = vec![0.0; self.dim];
+        let mut known = vec![false; self.dim];
+        for (k, &i) in observed.iter().enumerate() {
+            innovation[i] = observation[k] - self.operator.h(mean[i]);
+            known[i] = true;
+        }
+        crate::inpaint::harmonic_fill(&mut innovation, &known, crate::inpaint::FILL_SWEEPS);
+        let mut y_full = vec![0.0; self.dim];
+        let mut k = 0;
+        for i in 0..self.dim {
+            if known[i] {
+                // Real measurements pass through exactly.
+                y_full[i] = observation[k];
+                k += 1;
+            } else {
+                y_full[i] = self.operator.h(mean[i]) + innovation[i];
+            }
+        }
+        dense_analyze(&mut self.filter, forecast, &y_full, self.dim, self.obs_sigma, self.operator)
+    }
+
+    fn rng_state(&self) -> (u64, u64) {
+        (self.filter.cycle(), self.filter.config().seed)
+    }
+
+    fn set_rng_state(&mut self, epoch: u64, seed: u64) {
+        self.filter.set_cycle(epoch);
+        self.filter.reseed(seed);
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.filter.reseed(seed);
+    }
+}
+
+/// Mask-*ignoring* EnSF baseline: the canonical outage bug. The dense
+/// pipeline is fed as if the network were complete — dead sensors
+/// flat-line at zero in observation space, and those zeros are
+/// assimilated as real measurements with full guidance weight, pinning
+/// unobserved components toward zero regardless of the flow state. This
+/// is the comparison target the inpainting guidance must beat on
+/// unobserved regions (Liang et al.'s plain-EnSF comparison).
+pub struct MaskIgnoringEnsfScheme {
+    filter: ensf::Ensf,
+    dim: usize,
+    obs_sigma: f64,
+    operator: crate::osse::ObsOperatorKind,
+    mask: crate::osse::MaskKind,
+}
+
+impl MaskIgnoringEnsfScheme {
+    /// Builds the baseline for a `dim`-dimensional state under `mask`,
+    /// observing through `operator` (dead slots read zero in its
+    /// observation space).
+    pub fn new(
+        config: ensf::EnsfConfig,
+        dim: usize,
+        obs_sigma: f64,
+        operator: crate::osse::ObsOperatorKind,
+        mask: crate::osse::MaskKind,
+    ) -> Self {
+        MaskIgnoringEnsfScheme { filter: ensf::Ensf::new(config), dim, obs_sigma, operator, mask }
+    }
+}
+
+impl AnalysisScheme for MaskIgnoringEnsfScheme {
+    fn name(&self) -> &str {
+        "EnSF-ignore"
+    }
+
+    fn analyze(&mut self, forecast: &Ensemble, observation: &[f64]) -> Ensemble {
+        let cycle = self.filter.cycle();
+        let observed = self.mask.observed_indices(self.dim, cycle);
+        assert_eq!(
+            observation.len(),
+            observed.len(),
+            "observation vector must hold exactly the mask's observed components"
+        );
+        let mut y_full = vec![0.0; self.dim];
+        for (k, &i) in observed.iter().enumerate() {
+            y_full[i] = observation[k];
+        }
+        dense_analyze(&mut self.filter, forecast, &y_full, self.dim, self.obs_sigma, self.operator)
+    }
+
+    fn rng_state(&self) -> (u64, u64) {
+        (self.filter.cycle(), self.filter.config().seed)
+    }
+
+    fn set_rng_state(&mut self, epoch: u64, seed: u64) {
+        self.filter.set_cycle(epoch);
+        self.filter.reseed(seed);
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.filter.reseed(seed);
+    }
+}
+
+/// LETKF adapter over a masked identity network: the observation vector
+/// holds only the mask's observed components, each becoming a
+/// [`letkf::PointObs`] at its true grid location so localization spreads
+/// the partial information — LETKF's native answer to sensor outages, and
+/// the masked baseline the EnSF scenarios are judged against.
+pub struct MaskedLetkfScheme {
+    filter: letkf::Letkf,
+    obs_sigma: f64,
+    dim: usize,
+    mask: crate::osse::MaskKind,
+    cycle: u64,
+}
+
+impl MaskedLetkfScheme {
+    /// Builds the scheme for an `n × n × 2` grid under `mask` (identity
+    /// observation base; LETKF linearizes about the forecast, so the
+    /// saturating operators stay with the EnSF adapters).
+    pub fn new(
+        config: letkf::LetkfConfig,
+        params: &sqg::SqgParams,
+        obs_sigma: f64,
+        mask: crate::osse::MaskKind,
+    ) -> Self {
+        let geometry = letkf::GridGeometry::new(
+            params.n,
+            sqg::LEVELS,
+            params.domain,
+            params.rossby_radius(),
+        );
+        MaskedLetkfScheme {
+            filter: letkf::Letkf::new(config, geometry),
+            obs_sigma,
+            dim: params.state_dim(),
+            mask,
+            cycle: 0,
+        }
+    }
+}
+
+impl AnalysisScheme for MaskedLetkfScheme {
+    fn name(&self) -> &str {
+        "LETKF-masked"
+    }
+
+    fn analyze(&mut self, forecast: &Ensemble, observation: &[f64]) -> Ensemble {
+        let observed = self.mask.observed_indices(self.dim, self.cycle);
+        self.cycle += 1;
+        let network: Vec<letkf::PointObs> = observed
+            .iter()
+            .zip(observation)
+            .map(|(&i, &v)| letkf::PointObs { state_index: i, value: v, sigma: self.obs_sigma })
+            .collect();
+        self.filter.analyze(forecast, &network)
+    }
+
+    fn rng_state(&self) -> (u64, u64) {
+        (self.cycle, 0)
+    }
+
+    fn set_rng_state(&mut self, epoch: u64, _seed: u64) {
+        self.cycle = epoch;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,6 +740,134 @@ mod tests {
         // The observed component moves under both.
         assert!(pull(&asp, 0) > 1e-6);
         assert!(pull(&ad, 0) > 1e-6);
+    }
+
+    #[test]
+    fn masked_ensf_scheme_full_mask_matches_dense_scheme_bitwise() {
+        // Under ScoreKernel::Reference there is no hoisted constant-Jacobian
+        // branch, so the full-mask MaskedObs must reproduce the dense
+        // IdentityObs analysis bit-for-bit.
+        let dim = 6;
+        let config = ensf::EnsfConfig {
+            n_steps: 12,
+            seed: 9,
+            kernel: ensf::ScoreKernel::Reference,
+            ..Default::default()
+        };
+        let members: Vec<Vec<f64>> = (0..10).map(|m| vec![0.1 * m as f64 - 0.4; dim]).collect();
+        let fc = Ensemble::from_members(&members);
+        let y = vec![0.7; dim];
+        let mut dense = EnsfScheme::new(config.clone(), dim, 0.5);
+        let mut masked = MaskedEnsfScheme::new(
+            config,
+            dim,
+            0.5,
+            crate::osse::ObsOperatorKind::Identity,
+            crate::osse::MaskKind::Full,
+        );
+        assert_eq!(masked.name(), "EnSF-inpaint");
+        assert_eq!(dense.analyze(&fc, &y).as_slice(), masked.analyze(&fc, &y).as_slice());
+    }
+
+    #[test]
+    fn masked_ensf_scheme_accepts_shrunk_observation_vector() {
+        let dim = 8;
+        let mask = crate::osse::MaskKind::Block { start: 2, len: 4 };
+        let mut scheme = MaskedEnsfScheme::new(
+            ensf::EnsfConfig { n_steps: 10, seed: 3, ..Default::default() },
+            dim,
+            0.5,
+            crate::osse::ObsOperatorKind::Identity,
+            mask,
+        );
+        let members: Vec<Vec<f64>> = (0..10).map(|m| vec![0.1 * m as f64; dim]).collect();
+        let fc = Ensemble::from_members(&members);
+        // Only 4 of 8 components observed.
+        let an = scheme.analyze(&fc, &[1.0; 4]);
+        assert_eq!(an.dim(), dim);
+        assert!(an.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mask_ignoring_baseline_assimilates_dead_sensor_zeros() {
+        let dim = 8;
+        let mask = crate::osse::MaskKind::Block { start: 4, len: 4 };
+        let mut scheme = MaskIgnoringEnsfScheme::new(
+            ensf::EnsfConfig { n_steps: 15, seed: 4, ..Default::default() },
+            dim,
+            0.05,
+            crate::osse::ObsOperatorKind::Identity,
+            mask,
+        );
+        assert_eq!(scheme.name(), "EnSF-ignore");
+        // Forecast mean sits at 0.55; real obs say 1.0, dead sensors say 0.
+        let members: Vec<Vec<f64>> = (0..12).map(|m| vec![0.1 * m as f64; dim]).collect();
+        let fc = Ensemble::from_members(&members);
+        let an = scheme.analyze(&fc, &[1.0; 4]);
+        // Observed half pulls toward 1.0; the outage is dragged toward the
+        // flat-lined zeros instead of staying with the forecast.
+        assert!((an.mean()[0] - 1.0).abs() < (fc.mean()[0] - 1.0).abs());
+        // The test ensemble is perfectly cross-correlated, so the joint
+        // prior tempers the conflict between the two halves; the zeros
+        // still drag the outage below the forecast mean while the real
+        // obs sit far above it.
+        assert!(
+            an.mean()[6] < fc.mean()[6] - 0.05,
+            "dragged toward zero: {} vs forecast {}",
+            an.mean()[6],
+            fc.mean()[6]
+        );
+    }
+
+    #[test]
+    fn inpainting_scheme_fills_the_outage_from_the_surrounding_network() {
+        // dim = 8 is a two-level 2x2 grid; blind the whole bottom level.
+        // Every unknown pixel's vertical partner is observed, so the
+        // harmonic fill reconstructs the (constant) innovation and the
+        // analysis pulls the outage toward the observed value, not zero.
+        let dim = 8;
+        let mask = crate::osse::MaskKind::Block { start: 0, len: 4 };
+        let mut scheme = MaskedEnsfScheme::new(
+            ensf::EnsfConfig { n_steps: 15, seed: 4, ..Default::default() },
+            dim,
+            0.05,
+            crate::osse::ObsOperatorKind::Identity,
+            mask,
+        );
+        let members: Vec<Vec<f64>> = (0..12).map(|m| vec![0.1 * m as f64; dim]).collect();
+        let fc = Ensemble::from_members(&members);
+        let an = scheme.analyze(&fc, &[1.0; 4]);
+        // The unobserved bottom level lands near the inpainted 1.0, far
+        // from both zero and the 0.55 forecast mean.
+        assert!((an.mean()[1] - 1.0).abs() < 0.15, "inpainted pull: {}", an.mean()[1]);
+    }
+
+    #[test]
+    fn masked_letkf_updates_only_near_observed_components() {
+        let params = sqg::SqgParams { n: 4, ..Default::default() };
+        let mask = crate::osse::MaskKind::Block { start: 1, len: 30 };
+        let mut scheme = MaskedLetkfScheme::new(
+            letkf::LetkfConfig { rtps_alpha: 0.0, ..Default::default() },
+            &params,
+            0.3,
+            mask,
+        );
+        assert_eq!(scheme.name(), "LETKF-masked");
+        let members: Vec<Vec<f64>> = (0..10).map(|m| vec![0.2 * m as f64 - 0.9; 32]).collect();
+        let fc = Ensemble::from_members(&members);
+        // Observed indices are {0, 31}; y carries exactly those two slots.
+        let an = scheme.analyze(&fc, &[1.0, 1.0]);
+        let pull = |e: &Ensemble, i: usize| (e.mean()[i] - fc.mean()[i]).abs();
+        assert!(pull(&an, 0) > 1e-6, "observed component must move");
+        // Component 16 is state 0's vertically colocated partner — inside
+        // the outage but within Rossby-coupled localization range, so the
+        // partial network still updates it.
+        assert!(pull(&an, 16) > 1e-9, "vertical partner of an observed point moves");
+        // Component 10 (level 0, row 2, col 2) is >7000 km from both
+        // observations on this coarse 5000 km-spacing grid — far outside
+        // the 2000 km cutoff — and its vertical partner is unobserved too.
+        assert!(pull(&an, 10) < 1e-12, "unobserved far component must not move");
+        assert_eq!(scheme.rng_state().0, 1, "cycle counter advances");
     }
 
     #[test]

@@ -50,11 +50,14 @@ use stats::Ensemble;
 ///
 /// The sharded analysis updates each state block independently, so the
 /// observation operator must restrict cleanly to a contiguous block: the
-/// variants here are exactly the elementwise, fully-observing operators
-/// (the paper's SQG setting uses `h = I`; arctan is the EnSF papers'
-/// nonlinear stress test). Operators that couple state components across
-/// tiles (strided masks, integrals) would need an observation-space
-/// exchange and are out of scope for this runtime.
+/// variants here are exactly the componentwise operators (the paper's SQG
+/// setting uses `h = I`; arctan is the EnSF papers' nonlinear stress
+/// test; [`DistObs::Masked`] composes either base with a partial-network
+/// mask, which is still componentwise — each tile's share of the mask is
+/// a pure function of the *global* tile bounds and the cycle, so the
+/// partition stays rank-layout invariant). Operators that couple state
+/// components across tiles (integrals, convolutions) would need an
+/// observation-space exchange and are out of scope for this runtime.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DistObs {
     /// Fully observed state, `h = I`, error std `sigma`.
@@ -69,32 +72,64 @@ pub enum DistObs {
         /// Saturation gain γ of `arctan(γ x)`.
         gain: f64,
     },
+    /// Partially observed network: `base` applied at the components `mask`
+    /// leaves visible for the analysis cycle. The observation vector holds
+    /// only the observed components (ascending global index); guidance acts
+    /// only there, and masked components evolve by score-driven diffusion.
+    Masked {
+        /// Per-component observation error standard deviation.
+        sigma: f64,
+        /// Componentwise base operator applied at observed components.
+        base: da_core::ObsOperatorKind,
+        /// Which components the network observes (cycle-indexed).
+        mask: da_core::MaskKind,
+    },
 }
 
 impl DistObs {
     /// Observation error standard deviation.
     pub fn sigma(&self) -> f64 {
         match *self {
-            DistObs::Identity { sigma } | DistObs::Arctan { sigma, .. } => sigma,
+            DistObs::Identity { sigma }
+            | DistObs::Arctan { sigma, .. }
+            | DistObs::Masked { sigma, .. } => sigma,
         }
     }
 
-    /// The operator restricted to a `len`-component block. Because both
-    /// variants are elementwise, the restriction is just the same operator
-    /// on a smaller dimension.
+    /// Expected observation-vector length for a `dim`-dimensional state at
+    /// analysis cycle `cycle` (masked networks shrink it to the observed
+    /// components).
+    pub fn obs_len(&self, dim: usize, cycle: u64) -> usize {
+        match self {
+            DistObs::Masked { mask, .. } => mask.obs_dim(dim, cycle),
+            _ => dim,
+        }
+    }
+
+    /// The operator restricted to a `len`-component block. Because the
+    /// dense variants are elementwise, the restriction is just the same
+    /// operator on a smaller dimension.
+    ///
+    /// # Panics
+    /// Panics for [`DistObs::Masked`], whose restriction needs the global
+    /// tile bounds (see [`ShardKernel::new`]).
     pub fn block_operator(&self, len: usize) -> Box<dyn ObservationOperator> {
         match *self {
             DistObs::Identity { sigma } => Box::new(IdentityObs::new(len, sigma)),
             DistObs::Arctan { sigma, gain } => Box::new(ArctanObs::with_gain(len, sigma, gain)),
+            DistObs::Masked { .. } => {
+                panic!("masked operators restrict per global tile, not per bare length")
+            }
         }
     }
 
     /// Uniform squared observation Jacobian, if one exists (see
-    /// [`ObservationOperator::constant_jacobian_sq`]).
+    /// [`ObservationOperator::constant_jacobian_sq`]). Masked networks have
+    /// a per-component on/off pattern, so they never admit one.
     pub fn constant_jacobian_sq(&self) -> Option<f64> {
         match self {
             DistObs::Identity { .. } => Some(1.0),
-            DistObs::Arctan { .. } => None,
+            DistObs::Arctan { .. } | DistObs::Masked { .. } => None,
         }
     }
 }
@@ -199,8 +234,10 @@ pub struct ShardKernel {
     /// One RNG per `(particle, local tile)`, indexed `p * n_local + lt`.
     rngs: Vec<StdRng>,
     sampler: NormalSampler,
-    /// Local slice of the observation vector.
-    y_block: Vec<f64>,
+    /// Local observation slice per local tile. Dense operators slice the
+    /// state-length vector at the tile bounds; masked operators hold each
+    /// tile's (possibly empty) run of observed-component values.
+    y_tiles: Vec<Vec<f64>>,
     /// Observation operator restricted to each local tile.
     ops: Vec<Box<dyn ObservationOperator>>,
     obs: DistObs,
@@ -251,7 +288,7 @@ impl ShardKernel {
     ) -> Self {
         config.validate().expect("invalid EnSF configuration");
         assert_eq!(forecast.dim(), plan.dim(), "forecast dimension mismatch");
-        assert_eq!(y.len(), plan.dim(), "observation length mismatch");
+        assert_eq!(y.len(), obs.obs_len(plan.dim(), cycle), "observation length mismatch");
         assert!(rank < plan.ranks(), "rank {rank} out of range");
         let members = forecast.members();
         assert!(members > 0, "need at least one forecast member");
@@ -346,9 +383,45 @@ impl ShardKernel {
             }
         }
 
-        let ops: Vec<Box<dyn ObservationOperator>> =
-            tiles.iter().map(|t| obs.block_operator(t.len)).collect();
-        let y_block = y[rank_lo..rank_hi].to_vec();
+        // Per-tile observation slices and operators. Both are pure
+        // functions of the *global* tile bounds (and, for masked networks,
+        // the cycle), so whichever rank owns a tile builds identical bits.
+        let (y_tiles, ops): (Vec<Vec<f64>>, Vec<Box<dyn ObservationOperator>>) = match *obs {
+            DistObs::Masked { sigma, base, mask } => {
+                let observed = mask.observed_indices(plan.dim(), cycle);
+                tiles
+                    .iter()
+                    .map(|tile| {
+                        let lo = rank_lo + tile.off;
+                        let hi = lo + tile.len;
+                        // The mask's observed indices are ascending, so a
+                        // tile's share of the observation vector is the
+                        // contiguous run of entries whose index falls in
+                        // the tile — positioned by a global count, never
+                        // by the rank layout.
+                        let a = observed.partition_point(|&i| i < lo);
+                        let b = observed.partition_point(|&i| i < hi);
+                        let local: Vec<usize> = observed[a..b].iter().map(|&i| i - lo).collect();
+                        let op: Box<dyn ObservationOperator> = match base {
+                            da_core::ObsOperatorKind::Identity => {
+                                Box::new(ensf::MaskedObs::identity(tile.len, local, sigma))
+                            }
+                            da_core::ObsOperatorKind::Arctan { gain } => {
+                                Box::new(ensf::MaskedObs::arctan(tile.len, local, sigma, gain))
+                            }
+                        };
+                        (y[a..b].to_vec(), op)
+                    })
+                    .unzip()
+            }
+            _ => tiles
+                .iter()
+                .map(|tile| {
+                    let lo = rank_lo + tile.off;
+                    (y[lo..lo + tile.len].to_vec(), obs.block_operator(tile.len))
+                })
+                .unzip(),
+        };
         let sigma = obs.sigma();
 
         ShardKernel {
@@ -368,7 +441,7 @@ impl ShardKernel {
             z,
             rngs,
             sampler: NormalSampler::new(),
-            y_block,
+            y_tiles,
             ops,
             obs: *obs,
             sigma_obs_sq: sigma * sigma,
@@ -570,7 +643,7 @@ impl ShardKernel {
                 }
             }
 
-            let y_tile = &self.y_block[tile.off..tile.off + tile.len];
+            let y_tile: &[f64] = &self.y_tiles[lt];
             let op = &self.ops[lt];
             if self.method == AnalysisMethod::FlowMatching {
                 // Deterministic probability-flow update, mirroring the
@@ -1043,6 +1116,122 @@ mod tests {
             full
         };
         assert_eq!(run(1), run(3), "arctan flow path diverged across rank counts");
+    }
+
+    fn masked_analyze_with_ranks(
+        ranks: usize,
+        kernel: ScoreKernel,
+        method: AnalysisMethod,
+        mask: da_core::MaskKind,
+        cycle: u64,
+    ) -> Vec<f64> {
+        let dim = 96;
+        let members = 6;
+        let forecast = gaussian_ensemble(members, dim, 11);
+        let obs = DistObs::Masked {
+            sigma: 0.05,
+            base: da_core::ObsOperatorKind::Identity,
+            mask,
+        };
+        // Shrunk observation vector: one value per observed component.
+        let y: Vec<f64> = (0..obs.obs_len(dim, cycle)).map(|k| 0.25 + 0.001 * k as f64).collect();
+        let config = EnsfConfig {
+            n_steps: 20,
+            seed: 9,
+            kernel,
+            method,
+            ..Default::default()
+        };
+        let plan = ShardPlan::new(dim, 16, ranks);
+        let blocks = run_world(ranks, |comm| {
+            let mut stats = CommStats::default();
+            dist_analyze(comm, &plan, &config, cycle, &forecast, &y, &obs, None, &mut stats)
+                .unwrap()
+        });
+        let mut full = vec![0.0; members * dim];
+        for (r, block) in blocks.iter().enumerate() {
+            let (lo, hi) = plan.rank_range(r);
+            for p in 0..members {
+                full[p * dim + lo..p * dim + hi]
+                    .copy_from_slice(&block[p * (hi - lo)..(p + 1) * (hi - lo)]);
+            }
+        }
+        full
+    }
+
+    #[test]
+    fn masked_block_analysis_is_bitwise_identical_for_any_rank_count() {
+        // The outage spans tiles 0–2 entirely and cuts tile 3 in half, so
+        // some ranks own tiles with empty observation slices — the
+        // partition must stay invariant to who owns what.
+        let mask = da_core::MaskKind::Block { start: 0, len: 56 };
+        for kernel in [ScoreKernel::Reference, ScoreKernel::Batched] {
+            let one =
+                masked_analyze_with_ranks(1, kernel, AnalysisMethod::ReverseSde, mask, 0);
+            assert!(one.iter().all(|v| v.is_finite()));
+            for ranks in [2, 3, 4, 6] {
+                let many =
+                    masked_analyze_with_ranks(ranks, kernel, AnalysisMethod::ReverseSde, mask, 0);
+                assert_eq!(one, many, "masked {kernel:?} diverged at {ranks} ranks");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_track_flow_is_rank_count_invariant_at_any_cycle() {
+        // Moving-track mask: the observed window depends on the cycle
+        // index, which reaches the kernel directly — the per-tile partition
+        // must re-resolve identically on every rank layout.
+        let mask = da_core::MaskKind::Track { width: 40, speed: 7 };
+        for cycle in [0, 3] {
+            let one = masked_analyze_with_ranks(
+                1,
+                ScoreKernel::Batched,
+                AnalysisMethod::FlowMatching,
+                mask,
+                cycle,
+            );
+            assert!(one.iter().all(|v| v.is_finite()));
+            for ranks in [2, 4] {
+                let many = masked_analyze_with_ranks(
+                    ranks,
+                    ScoreKernel::Batched,
+                    AnalysisMethod::FlowMatching,
+                    mask,
+                    cycle,
+                );
+                assert_eq!(one, many, "masked flow diverged at {ranks} ranks, cycle {cycle}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_guidance_pulls_only_observed_components() {
+        // With guidance confined to the observed window, observed
+        // components must track the observations much more tightly than
+        // the score-only outage.
+        let dim = 96;
+        let mask = da_core::MaskKind::Block { start: 48, len: 48 };
+        let full = masked_analyze_with_ranks(
+            2,
+            ScoreKernel::Batched,
+            AnalysisMethod::ReverseSde,
+            mask,
+            0,
+        );
+        let members = 6;
+        let mut mean = vec![0.0; dim];
+        for p in 0..members {
+            for i in 0..dim {
+                mean[i] += full[p * dim + i] / members as f64;
+            }
+        }
+        let err_obs: f64 = (0..48).map(|i| (mean[i] - 0.25).abs()).sum::<f64>() / 48.0;
+        let err_out: f64 = (48..96).map(|i| (mean[i] - 0.25).abs()).sum::<f64>() / 48.0;
+        assert!(
+            err_obs < 0.35 && err_out > 1.5 * err_obs,
+            "observed err {err_obs} vs outage err {err_out}"
+        );
     }
 
     #[test]

@@ -528,7 +528,14 @@ pub fn run_elastic_from(
         model.forecast_ensemble(&mut ensemble, config.base.osse.obs_interval_hours);
         let y = &nature.observations[cycle];
         let pre_diag = lead.then(|| {
-            da_core::diagnostics::forecast_stats(&ensemble, y, config.base.osse.obs_sigma)
+            da_core::diagnostics::forecast_stats_masked(
+                &ensemble,
+                y,
+                config.base.osse.obs_sigma,
+                config.base.osse.obs_operator,
+                config.base.osse.obs_mask,
+                cycle as u64,
+            )
         });
 
         let my_kill = config.faults.rank_kill_at(cycle, me);
@@ -747,7 +754,15 @@ pub fn run_elastic_from(
             if let Some(pre) = &pre_diag {
                 // INVARIANT: pushed immediately above.
                 let cycle_rmse = *rmse.last().unwrap();
-                let diagnostics = da_core::diagnostics::complete(pre, &ensemble, y, cycle_rmse);
+                let diagnostics = da_core::diagnostics::complete_masked(
+                    pre,
+                    &ensemble,
+                    y,
+                    cycle_rmse,
+                    config.base.osse.obs_operator,
+                    config.base.osse.obs_mask,
+                    cycle as u64,
+                );
                 telemetry::record_cycle(telemetry::CycleRecord {
                     label: format!("elastic@{}r", comm.size()),
                     cycle,

@@ -299,8 +299,19 @@ impl Ensf {
             telemetry::counter_add("ensf.analyses", 1);
             telemetry::gauge_set("ensf.analysis.spread", analysis.spread());
             // Obs-space O−A residual moments: a quick filter-health pulse
-            // without the full diagnostics pipeline.
-            let (oa_mean, oa_var) = stats::diagnostics::residual_moments(&analysis.mean(), y);
+            // without the full diagnostics pipeline. Partial-observation
+            // operators shrink `y` below the state dimension; the residual
+            // is then taken against `h(mean)` so only observed components
+            // are compared (the dense path keeps its raw-mean comparison
+            // bit-for-bit).
+            let mean = analysis.mean();
+            let (oa_mean, oa_var) = if y.len() == mean.len() {
+                stats::diagnostics::residual_moments(&mean, y)
+            } else {
+                let mut hx = vec![0.0; obs.obs_dim()];
+                obs.apply(&mean, &mut hx);
+                stats::diagnostics::residual_moments(&hx, y)
+            };
             telemetry::gauge_set("ensf.analysis.oa_mean", oa_mean);
             telemetry::gauge_set("ensf.analysis.oa_var", oa_var);
         }

@@ -61,7 +61,7 @@ pub use flow::{
     batch_variance, probability_flow_assimilate, probability_flow_assimilate_batched,
     probability_flow_assimilate_batched_with_times, smooth_variance,
 };
-pub use obs::{ArctanObs, CubicObs, IdentityObs, ObservationOperator, StridedObs};
+pub use obs::{ArctanObs, CubicObs, IdentityObs, MaskedBase, MaskedObs, ObservationOperator, StridedObs};
 pub use schedule::{Damping, DiffusionSchedule};
 pub use score::ScoreEstimator;
 pub use sde::{reverse_sde_assimilate, reverse_sde_euler, reverse_sde_stiff, reverse_sde_with_grid, TimeGrid};

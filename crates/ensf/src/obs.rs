@@ -264,6 +264,140 @@ impl ObservationOperator for CubicObs {
     }
 }
 
+/// The componentwise base map a masked observing network sees through.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MaskedBase {
+    /// Direct observation `h(x) = x` at each observed component.
+    Identity,
+    /// Saturating observation `h(x) = arctan(gain · x)` at each observed
+    /// component (the EnSF papers' nonlinear stress operator).
+    Arctan {
+        /// Saturation gain γ (> 0).
+        gain: f64,
+    },
+}
+
+/// Partial observation of an explicit set of state components — the
+/// inpainting-EnSF operator (Liang et al., arXiv:2501.12419).
+///
+/// The observation vector holds only the observed components, in ascending
+/// state-index order. The likelihood score and its squared Jacobian are
+/// *exactly zero* at unobserved components, so the reverse-SDE and
+/// probability-flow integrators apply pure score-driven diffusion there
+/// (inpainting) and observation-guided transport on the observed set — no
+/// special-casing in the integrators themselves.
+#[derive(Debug, Clone)]
+pub struct MaskedObs {
+    state_dim: usize,
+    observed: Vec<usize>,
+    base: MaskedBase,
+    sigma: f64,
+}
+
+impl MaskedObs {
+    /// Direct (identity-base) partial observation of the `observed` state
+    /// components (ascending, unique, all `< state_dim`).
+    ///
+    /// # Panics
+    /// Panics unless `sigma > 0` and the index list is strictly ascending
+    /// and in range.
+    pub fn identity(state_dim: usize, observed: Vec<usize>, sigma: f64) -> Self {
+        Self::with_base(state_dim, observed, MaskedBase::Identity, sigma)
+    }
+
+    /// Saturating (`arctan(gain · x)`) partial observation — the composed
+    /// Arctan+mask scenario operator.
+    pub fn arctan(state_dim: usize, observed: Vec<usize>, sigma: f64, gain: f64) -> Self {
+        assert!(gain > 0.0, "arctan gain must be positive");
+        Self::with_base(state_dim, observed, MaskedBase::Arctan { gain }, sigma)
+    }
+
+    fn with_base(state_dim: usize, observed: Vec<usize>, base: MaskedBase, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "observation error must be positive");
+        assert!(
+            observed.windows(2).all(|w| w[0] < w[1]),
+            "observed indices must be strictly ascending"
+        );
+        if let Some(&last) = observed.last() {
+            assert!(last < state_dim, "observed index {last} out of range {state_dim}");
+        }
+        MaskedObs { state_dim, observed, base, sigma }
+    }
+
+    /// The observed state indices (ascending).
+    pub fn observed(&self) -> &[usize] {
+        &self.observed
+    }
+
+    /// Dimension of the underlying state.
+    pub fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+}
+
+impl ObservationOperator for MaskedObs {
+    fn obs_dim(&self) -> usize {
+        self.observed.len()
+    }
+
+    fn apply(&self, state: &[f64], out: &mut [f64]) {
+        match self.base {
+            MaskedBase::Identity => {
+                for (o, &i) in out.iter_mut().zip(&self.observed) {
+                    *o = state[i];
+                }
+            }
+            MaskedBase::Arctan { gain } => {
+                for (o, &i) in out.iter_mut().zip(&self.observed) {
+                    *o = (gain * state[i]).atan();
+                }
+            }
+        }
+    }
+
+    fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    fn jacobian_sq(&self, state: &[f64], out: &mut [f64]) {
+        out.fill(0.0);
+        match self.base {
+            MaskedBase::Identity => {
+                for &i in &self.observed {
+                    out[i] = 1.0;
+                }
+            }
+            MaskedBase::Arctan { gain } => {
+                for &i in &self.observed {
+                    let x = state[i];
+                    let j = gain / (1.0 + (gain * x) * (gain * x));
+                    out[i] = j * j;
+                }
+            }
+        }
+    }
+
+    fn add_likelihood_score(&self, state: &[f64], y: &[f64], weight: f64, score_out: &mut [f64]) {
+        // Expression order mirrors IdentityObs / ArctanObs exactly so a
+        // full mask reproduces the dense operators bit-for-bit.
+        let w = weight / (self.sigma * self.sigma);
+        match self.base {
+            MaskedBase::Identity => {
+                for (&i, yi) in self.observed.iter().zip(y) {
+                    score_out[i] += w * (yi - state[i]);
+                }
+            }
+            MaskedBase::Arctan { gain } => {
+                let g = gain;
+                for (&i, yi) in self.observed.iter().zip(y) {
+                    let x = state[i];
+                    score_out[i] += w * (yi - (g * x).atan()) * g / (1.0 + (g * x) * (g * x));
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,6 +597,84 @@ mod tests {
     #[should_panic]
     fn arctan_zero_sigma_rejected() {
         let _ = ArctanObs::new(4, 0.0);
+    }
+
+    #[test]
+    fn masked_identity_score_matches_finite_difference() {
+        let op = MaskedObs::identity(5, vec![0, 2, 4], 0.7);
+        let x = [0.3, -1.2, 2.0, 0.0, -0.4];
+        let y = [0.5, 1.5, -0.1];
+        let mut s = vec![0.0; 5];
+        op.add_likelihood_score(&x, &y, 1.0, &mut s);
+        let fd = finite_diff_score(&op, &x, &y);
+        for (a, b) in s.iter().zip(&fd) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+        assert_eq!(s[1], 0.0);
+        assert_eq!(s[3], 0.0);
+    }
+
+    #[test]
+    fn masked_arctan_score_matches_finite_difference() {
+        let op = MaskedObs::arctan(4, vec![1, 3], 0.5, 3.0);
+        let x = [9.0, 0.3, 9.0, -0.8];
+        let mut y = vec![0.0; 2];
+        op.apply(&[0.0, 0.2, 0.0, -0.7], &mut y);
+        let mut s = vec![0.0; 4];
+        op.add_likelihood_score(&x, &y, 1.0, &mut s);
+        let fd = finite_diff_score(&op, &x, &y);
+        for (a, b) in s.iter().zip(&fd) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        assert_eq!(s[0], 0.0);
+        assert_eq!(s[2], 0.0);
+    }
+
+    #[test]
+    fn full_masked_obs_reduces_to_dense_operators_bitwise() {
+        let dim = 6;
+        let all: Vec<usize> = (0..dim).collect();
+        let x = [1.0, -2.0, 3.0, -0.5, 0.25, 4.0];
+        let y = [0.5, 0.25, -0.5, 1.0, 0.0, -1.0];
+
+        let masked = MaskedObs::identity(dim, all.clone(), 0.7);
+        let dense = IdentityObs::new(dim, 0.7);
+        let (mut a, mut b) = (vec![0.0; dim], vec![0.0; dim]);
+        masked.add_likelihood_score(&x, &y, 1.3, &mut a);
+        dense.add_likelihood_score(&x, &y, 1.3, &mut b);
+        for (u, v) in a.iter().zip(&b) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+
+        let masked = MaskedObs::arctan(dim, all, 0.7, 40.0);
+        let dense = ArctanObs::with_gain(dim, 0.7, 40.0);
+        let (mut a, mut b) = (vec![0.0; dim], vec![0.0; dim]);
+        masked.add_likelihood_score(&x, &y, 0.9, &mut a);
+        dense.add_likelihood_score(&x, &y, 0.9, &mut b);
+        for (u, v) in a.iter().zip(&b) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn masked_jacobian_vanishes_off_mask() {
+        let op = MaskedObs::identity(4, vec![1, 2], 1.0);
+        let mut out = vec![9.0; 4];
+        op.jacobian_sq(&[0.0; 4], &mut out);
+        assert_eq!(out, vec![0.0, 1.0, 1.0, 0.0]);
+        assert!(op.constant_jacobian_sq().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn masked_obs_rejects_unsorted_indices() {
+        let _ = MaskedObs::identity(4, vec![2, 1], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn masked_obs_rejects_out_of_range_index() {
+        let _ = MaskedObs::identity(4, vec![0, 4], 1.0);
     }
 
     #[test]

@@ -227,6 +227,30 @@ fn flow_matching_survives_shrink_and_deadline_ladder() {
     assert!(result.series.rmse.iter().all(|r| r.is_finite()));
 }
 
+/// A masked flow-matching cycle under elastic shrink-retry: a 25 %
+/// contiguous sensor outage shrinks the observation vector, a rank dies
+/// mid-analysis, and the survivors must re-partition the *global* mask
+/// over their new tile ownership and redo the cycle. Completing with
+/// finite skill proves the per-tile mask restriction composes with the
+/// shrink machinery.
+#[test]
+fn masked_flow_matching_survives_shrink_retry() {
+    let _gate = TELEMETRY_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let mut config = elastic_config(4);
+    config.base.osse.obs_mask =
+        sqg_da::da_core::osse::MaskKind::Block { start: 192, len: 128 };
+    config.base.ensf.n_steps = 6;
+    config.base.ensf.method = AnalysisMethod::FlowMatching;
+    config.faults.rank_kills.push(RankKill { cycle: 1, rank: 2, after_steps: 1 });
+    let result = run_elastic_osse(&config, 3).unwrap();
+
+    assert_eq!(result.outcome, ElasticOutcome::Completed);
+    assert_eq!(result.counters.shrinks, 1, "the injected kill must shrink the group");
+    assert_eq!(result.counters.redone_analyses, 1, "the masked cycle is redone by survivors");
+    assert_eq!(result.cycle_means.len(), 4, "every masked cycle completed");
+    assert!(result.series.rmse.iter().all(|r| r.is_finite()));
+}
+
 /// Belt-and-braces no-hang sweep: all three chaos channels at once (kill,
 /// straggler, tight deadline) on a larger world still terminates with a
 /// typed outcome for every rank and a finite trajectory.

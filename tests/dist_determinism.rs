@@ -19,7 +19,7 @@
 use sqg_da::dist::{run_osse, DistCycleConfig, DistRunResult};
 use sqg_da::ensf::{AnalysisMethod, EnsfConfig, ScoreKernel};
 use sqg_da::sqg::SqgParams;
-use sqg_da::da_core::osse::OsseConfig;
+use sqg_da::da_core::osse::{MaskKind, OsseConfig};
 
 /// Reduced-grid 10-cycle experiment: `d = 512` (8 tiles of 64), 8 members.
 fn determinism_config(kernel: ScoreKernel) -> DistCycleConfig {
@@ -99,6 +99,36 @@ fn ten_cycle_osse_is_bitwise_rank_invariant_reference() {
 #[test]
 fn ten_cycle_flow_osse_is_bitwise_rank_invariant() {
     assert_rank_invariant(&flow_determinism_config(), "FlowMatching");
+}
+
+/// The same experiment with a 25 % contiguous sensor outage: the
+/// observation vector shrinks to the live sensors and the runtime
+/// restricts the mask per *global* tile, so the analysis bits must stay
+/// independent of how tiles are dealt to ranks.
+fn masked_config(kernel: ScoreKernel) -> DistCycleConfig {
+    let mut config = determinism_config(kernel);
+    config.osse.obs_mask = MaskKind::Block { start: 192, len: 128 };
+    config
+}
+
+#[test]
+fn masked_osse_is_bitwise_rank_invariant_batched() {
+    assert_rank_invariant(&masked_config(ScoreKernel::Batched), "Masked/Batched");
+}
+
+#[test]
+fn masked_osse_is_bitwise_rank_invariant_reference() {
+    assert_rank_invariant(&masked_config(ScoreKernel::Reference), "Masked/Reference");
+}
+
+/// The moving satellite-track outage under the flow analysis: the observed
+/// window (and observation length) changes every cycle, so every cycle
+/// re-partitions the mask across tiles.
+#[test]
+fn masked_track_flow_osse_is_bitwise_rank_invariant() {
+    let mut config = flow_determinism_config();
+    config.osse.obs_mask = MaskKind::Track { width: 256, speed: 40 };
+    assert_rank_invariant(&config, "Masked/Flow");
 }
 
 /// Child entry point for the SIMD-cap subprocess protocol: inert unless

@@ -18,12 +18,13 @@
 //! UPDATE_GOLDEN=1 cargo test --test golden_regression
 //! ```
 
-use sqg_da::da_core::osse::{initial_ensemble, nature_run, ObsOperatorKind, OsseConfig};
+use sqg_da::da_core::osse::{initial_ensemble, nature_run, MaskKind, ObsOperatorKind, OsseConfig};
 use sqg_da::da_core::{
     AnalysisScheme, ArctanEnsfScheme, EnsfScheme, FlowMatchingArctanEnsfScheme,
-    FlowMatchingEnsfScheme, ForecastModel, LetkfScheme, SqgForecast,
+    FlowMatchingEnsfScheme, ForecastModel, LetkfScheme, MaskedEnsfScheme, MaskedLetkfScheme,
+    SqgForecast,
 };
-use sqg_da::ensf::EnsfConfig;
+use sqg_da::ensf::{AnalysisMethod, EnsfConfig};
 use sqg_da::letkf::LetkfConfig;
 use sqg_da::sqg::SqgParams;
 use std::fmt::Write as _;
@@ -274,6 +275,80 @@ fn flow_arctan_trajectory_matches_golden() {
         ARCTAN_GAIN,
     );
     check_against_golden("flow_arctan", &run_trajectory(&config, &mut scheme));
+}
+
+/// The 25 % contiguous block outage of the scenario library: covers the
+/// top quarter of level 0 and the bottom quarter of level 1, so every
+/// blinded pixel still has an observed vertical partner. The masked nature
+/// run emits *shrunk* observation vectors (one entry per live sensor).
+const BLOCK25: MaskKind = MaskKind::Block { start: 192, len: 128 };
+
+/// Pins the inpainting EnSF on the 25 % block outage: the harmonic
+/// innovation fill, the observed-component passthrough and the dense
+/// assimilation of the completed vector are all on the critical path.
+#[test]
+fn ensf_mask_block_trajectory_matches_golden() {
+    pin_scalar_simd();
+    let config = OsseConfig { obs_mask: BLOCK25, ..osse_config() };
+    let mut scheme = MaskedEnsfScheme::new(
+        EnsfConfig { n_steps: 10, seed: 5, ..Default::default() },
+        config.params.state_dim(),
+        config.obs_sigma,
+        ObsOperatorKind::Identity,
+        BLOCK25,
+    );
+    check_against_golden("ensf_mask_block", &run_trajectory(&config, &mut scheme));
+}
+
+/// The moving satellite-track mask: the observed window (and hence the
+/// observation-vector length) changes every cycle, so this fixture pins
+/// the cycle-indexed mask resolution end to end.
+#[test]
+fn ensf_track_trajectory_matches_golden() {
+    pin_scalar_simd();
+    let track = MaskKind::Track { width: 256, speed: 40 };
+    let config = OsseConfig { obs_mask: track, ..osse_config() };
+    let mut scheme = MaskedEnsfScheme::new(
+        EnsfConfig { n_steps: 10, seed: 5, ..Default::default() },
+        config.params.state_dim(),
+        config.obs_sigma,
+        ObsOperatorKind::Identity,
+        track,
+    );
+    check_against_golden("ensf_track", &run_trajectory(&config, &mut scheme));
+}
+
+/// The inpainting variant of the few-step probability-flow analysis on the
+/// block outage: same innovation fill, deterministic DDIM transport.
+#[test]
+fn flow_inpaint_trajectory_matches_golden() {
+    pin_scalar_simd();
+    let config = OsseConfig { obs_mask: BLOCK25, ..osse_config() };
+    let mut scheme = MaskedEnsfScheme::new(
+        EnsfConfig {
+            n_steps: 6,
+            seed: 5,
+            method: AnalysisMethod::FlowMatching,
+            ..Default::default()
+        },
+        config.params.state_dim(),
+        config.obs_sigma,
+        ObsOperatorKind::Identity,
+        BLOCK25,
+    );
+    check_against_golden("flow_inpaint", &run_trajectory(&config, &mut scheme));
+}
+
+/// Masked LETKF on the block outage: localization spreads the surviving
+/// network's information into the blinded region (the strongest baseline
+/// of the scenario study).
+#[test]
+fn letkf_mask_block_trajectory_matches_golden() {
+    pin_scalar_simd();
+    let config = OsseConfig { obs_mask: BLOCK25, ..osse_config() };
+    let mut scheme =
+        MaskedLetkfScheme::new(LetkfConfig::default(), &config.params, config.obs_sigma, BLOCK25);
+    check_against_golden("letkf_mask_block", &run_trajectory(&config, &mut scheme));
 }
 
 #[test]
